@@ -1,0 +1,55 @@
+"""Shared fixtures and helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (via :mod:`repro.eval.report`) and
+asserts the *shape* — orderings, approximate levels, crossovers — rather
+than the authors' exact numbers, since the substrate here is a simulator,
+not their vehicle (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario, simulate
+
+
+def base_scenario(**kwargs) -> Scenario:
+    """The default operating point: P01, 40 cm, boresight, parked."""
+    defaults = dict(
+        participant=ParticipantProfile("P01"),
+        duration_s=60.0,
+        road="parked",
+        state="awake",
+        allow_posture_shifts=False,
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+@pytest.fixture(scope="session")
+def reference_trace():
+    """One 60 s reference capture shared by the signal-level figures."""
+    return simulate(base_scenario(), seed=77)
+
+
+from pathlib import Path
+
+#: Every printed block is also appended here, so the paper-vs-measured
+#: record survives pytest's output capture (EXPERIMENTS.md is built from
+#: this artifact).
+RESULTS_PATH = Path(__file__).parent / "latest_results.txt"
+
+
+def pytest_sessionstart(session):
+    """Start a fresh results artifact for each benchmark session."""
+    RESULTS_PATH.write_text("")
+
+
+def print_block(text: str) -> None:
+    """Print a report block and persist it to the results artifact."""
+    print("\n" + text + "\n")
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text + "\n\n")

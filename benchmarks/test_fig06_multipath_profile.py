@@ -1,0 +1,72 @@
+"""Fig. 6(b) — the multipath range profile ("direct path / eyes / surroundings").
+
+The paper's figure shows three peak groups. With fully physical amplitudes
+the *static* eye return is too weak to stand clear of the cabin clutter —
+the very observation the paper makes in Sec. IV-D ("the magnitude of eye
+reflections may be weaker than reflections from other surrounding objects
+... even if the eye is closer"). The reproduction therefore prints both
+views of the same scene:
+
+- the static power profile, where the direct path and the surroundings
+  dominate and the eye does not produce a prominent peak of its own;
+- the slow-time variance profile, where the eye/face region is the nearest
+  dynamic cluster — the signal BlinkRadar actually selects on.
+"""
+
+import numpy as np
+
+from conftest import base_scenario, print_block
+from repro.core.binselect import variance_profile
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.dsp.peaks import local_maxima
+from repro.eval.report import format_table
+from repro.physio import DriverModel
+from repro.sim import simulate
+from repro.sim.simulator import ScenarioSimulator
+
+
+def test_fig06_multipath_range_profile(benchmark):
+    scenario = base_scenario(duration_s=20.0)
+    sim = ScenarioSimulator(scenario)
+    rng = np.random.default_rng(0)
+    motion = DriverModel(scenario.participant).generate(
+        10, 25.0, "awake", rng, allow_posture_shifts=False
+    )
+    zeros = np.zeros(10)
+
+    profile = benchmark.pedantic(
+        lambda: sim.build_channel(motion, zeros, zeros).static_profile(),
+        rounds=3,
+        iterations=1,
+    )
+    power = np.abs(profile) ** 2
+    cfg = scenario.radar
+    ranges = cfg.bin_ranges_m
+
+    peaks = [int(p) for p in local_maxima(power, min_distance=8)
+             if power[p] > 1e-4 * power.max()]
+    rows = [[f"{ranges[p]:.2f} m", f"{power[p]:.3e}"] for p in peaks]
+    print_block(format_table("Fig. 6(b): static range-profile peaks",
+                             ["range", "power"], rows))
+
+    # Static view: direct path strongest and nearest; surroundings beyond
+    # the driver clearly visible; the eye region NOT the dominant return.
+    assert ranges[peaks[0]] < 0.1
+    assert power[peaks[0]] == max(power[p] for p in peaks)
+    assert any(ranges[p] > 0.55 for p in peaks)
+    eye_region_power = power[cfg.range_to_bin(0.38) : cfg.range_to_bin(0.46)].max()
+    surround_power = max(power[p] for p in peaks if ranges[p] > 0.55)
+    assert eye_region_power < power[peaks[0]]
+
+    # Dynamic view: the variance profile puts the nearest dynamic cluster
+    # on the eyes, well before the (globally strongest) breathing torso.
+    trace = simulate(scenario, seed=0)
+    pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+    var = variance_profile(pre.apply(trace.frames)[:300])
+    var_peaks = [int(p) for p in local_maxima(var, min_distance=12)
+                 if var[p] > 5e-3 * var.max()]
+    var_rows = [[f"{ranges[p]:.2f} m", f"{var[p]:.3e}"] for p in var_peaks]
+    print_block(format_table("Fig. 6(b) companion: slow-time variance peaks",
+                             ["range", "variance"], var_rows))
+    assert 0.3 < ranges[var_peaks[0]] < 0.55      # nearest dynamic = the eyes
+    assert ranges[int(np.argmax(var))] > 0.6       # global max = the torso

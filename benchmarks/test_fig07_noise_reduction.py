@@ -1,0 +1,65 @@
+"""Fig. 7 — the fast-time signal without and with SNR enhancement.
+
+The paper shows a noisy received frame (7(a)) cleaned up by the cascading
+FIR + smoothing filter (7(b)). The reproduction measures the actual SNR
+gain of the cascade on a simulated frame and benchmarks the filter's
+per-frame cost (it must fit comfortably inside the 40 ms frame budget).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.core.preprocess import Preprocessor
+from repro.eval.report import format_table
+
+
+def make_frame(noise_sigma: float, seed: int = 0, n_bins: int = 234):
+    rng = np.random.default_rng(seed)
+    bins = np.arange(n_bins)
+    clean = (
+        2.0e-4 * np.exp(-((bins - 62.0) ** 2) / (2 * 8.0**2))
+        + 1.5e-4 * np.exp(-((bins - 117.0) ** 2) / (2 * 8.0**2))
+    ).astype(complex)
+    noise = noise_sigma * (rng.normal(size=n_bins) + 1j * rng.normal(size=n_bins))
+    return clean, clean + noise
+
+
+def snr_db(reference, signal):
+    err = signal - reference
+    return 10 * np.log10(np.sum(np.abs(reference) ** 2) / np.sum(np.abs(err) ** 2))
+
+
+def test_fig07_noise_reduction(benchmark):
+    pre = Preprocessor()
+    clean, noisy = make_frame(noise_sigma=4e-5)
+
+    denoised = benchmark(pre.denoise_frame, noisy)
+
+    # The cascade smooths the reference too (the envelope broadens); the
+    # fair comparison is against the equally-filtered clean frame.
+    reference = pre.denoise_frame(clean)
+    before = snr_db(clean, noisy)
+    after = snr_db(reference, denoised)
+
+    rows = [
+        ["SNR before (dB)", f"{before:.1f}"],
+        ["SNR after (dB)", f"{after:.1f}"],
+        ["gain (dB)", f"{after - before:.1f}"],
+    ]
+    print_block(format_table("Fig. 7: cascading-filter SNR enhancement", ["quantity", "value"], rows))
+
+    # The paper's figure shows clearly suppressed noise; a 16-point
+    # coherent smoother is worth ~12 dB on white noise.
+    assert after - before > 8.0
+    assert after > 10.0
+
+
+def test_fig07_filter_fits_frame_budget(benchmark):
+    pre = Preprocessor()
+    _, noisy = make_frame(noise_sigma=4e-5, seed=1)
+    result = benchmark(pre.denoise_frame, noisy)
+    assert result.shape == noisy.shape
+    # 40 ms frame period; preprocessing one frame must take a small
+    # fraction of it even in pure Python.
+    assert benchmark.stats["mean"] < 0.020

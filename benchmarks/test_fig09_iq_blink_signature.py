@@ -1,0 +1,54 @@
+"""Fig. 9 — the I/Q-space signal variation for eyes closed vs eyes open.
+
+The paper's observation: closing the eye swaps the reflecting surface from
+the wet eyeball to eyelid skin, so the signal amplitude at the eye bin
+*shrinks* while the phase shifts (the eyelid sits slightly proud of the
+cornea); opening reverses both. The reproduction simulates a controlled
+blink and measures both signatures at the true eye bin.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.eval.report import format_table
+from repro.physio import DriverModel
+from repro.sim import simulate
+
+
+def test_fig09_iq_blink_signature(benchmark):
+    scenario = base_scenario(duration_s=40.0, state="drowsy")
+    trace = benchmark.pedantic(lambda: simulate(scenario, seed=8), rounds=1, iterations=1)
+    pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+    processed = pre.apply(trace.frames)
+    series = processed[:, trace.eye_bin]
+
+    # Ground-truth closure for the open/closed masks.
+    rng = np.random.default_rng(8)
+    motion = DriverModel(scenario.participant).generate(
+        trace.n_frames, 25.0, "drowsy", rng, allow_posture_shifts=False
+    )
+    open_mask = motion.eyelid_closure < 0.02
+    closed_mask = motion.eyelid_closure > 0.95
+    open_mask[:60] = False
+    assert closed_mask.sum() > 20, "need enough fully-closed frames"
+
+    # The static point is the common centre of the open/closed arcs —
+    # recover it with the arc fit and read radial magnitudes from there.
+    from repro.dsp.circlefit import fit_circle_dominant
+
+    center = fit_circle_dominant(series[open_mask]).center
+    amp_open = np.abs(series[open_mask] - center).mean()
+    amp_closed = np.abs(series[closed_mask] - center).mean()
+
+    rows = [
+        ["mean |dynamic| eyes open", f"{amp_open:.3e}"],
+        ["mean |dynamic| eyes closed", f"{amp_closed:.3e}"],
+        ["closed / open ratio", f"{amp_closed / amp_open:.2f}"],
+    ]
+    print_block(format_table("Fig. 9: I/Q amplitude, closed vs open", ["quantity", "value"], rows))
+
+    # Shape: the closed-eye amplitude is clearly smaller (paper Fig. 9:
+    # "the signal's amplitude becomes small" on closing).
+    assert amp_closed < 0.8 * amp_open

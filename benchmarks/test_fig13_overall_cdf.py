@@ -1,0 +1,87 @@
+"""Fig. 13 — CDFs of eye-blink and drowsy-driving detection accuracy.
+
+The paper's headline result: over the 12-participant road study, the
+median blink-detection accuracy is 95.5 % (Fig. 13(a)) and the median
+drowsy-driving detection accuracy is 92.2 % (Fig. 13(b)).
+
+The reproduction runs the same battery on the synthetic cohort: for each
+participant, road sessions in both states score blink detection, and the
+per-user calibrate-then-classify protocol of Sec. V scores drowsiness.
+Absolute medians land a few points below the paper's (the simulated
+vibration/interference mix is not their vehicle); the asserted shape is
+"high-accuracy regime with a tight CDF" — medians above 80 % with most
+sessions above 70 %.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_block
+from repro.datasets import study_participants
+from repro.eval.report import format_cdf_summary
+from repro.eval.runner import evaluate_drowsy_battery, run_session
+from repro.sim import Scenario
+
+ROADS = ("smooth_highway", "intersection")
+
+
+@pytest.mark.slow
+def test_fig13a_blink_accuracy_cdf(benchmark):
+    participants = study_participants()
+
+    def battery():
+        accuracies = []
+        for i, participant in enumerate(participants):
+            for j, road in enumerate(ROADS):
+                for state in ("awake", "drowsy"):
+                    scenario = Scenario(
+                        participant=participant, road=road, state=state,
+                        duration_s=60.0,
+                    )
+                    result = run_session(scenario, seed=500 + 10 * i + j)
+                    accuracies.append(result.accuracy)
+        return np.array(accuracies)
+
+    accuracies = benchmark.pedantic(battery, rounds=1, iterations=1)
+    print_block(format_cdf_summary(
+        "Fig. 13(a): blink-detection accuracy CDF "
+        f"(n={len(accuracies)} sessions; paper median 0.955)",
+        accuracies,
+    ))
+
+    assert np.median(accuracies) > 0.80
+    assert np.percentile(accuracies, 25) > 0.70
+    assert accuracies.max() >= 0.95
+
+
+@pytest.mark.slow
+def test_fig13b_drowsy_accuracy_cdf(benchmark):
+    participants = study_participants()[:8]  # keep the battery tractable
+
+    def battery():
+        per_user = []
+        for i, participant in enumerate(participants):
+            # 2-minute drives give two 1-minute decision windows each; two
+            # calibration drives and two test drives per state mirror the
+            # paper's per-participant data collection.
+            awake = Scenario(participant=participant, road="smooth_highway",
+                             state="awake", duration_s=120.0)
+            drowsy = Scenario(participant=participant, road="smooth_highway",
+                              state="drowsy", duration_s=120.0)
+            acc = evaluate_drowsy_battery(
+                awake, drowsy,
+                train_seeds=[700 + i, 800 + i],
+                test_seeds=[900 + i, 1000 + i],
+            )
+            per_user.append(acc)
+        return np.array(per_user)
+
+    per_user = benchmark.pedantic(battery, rounds=1, iterations=1)
+    print_block(format_cdf_summary(
+        f"Fig. 13(b): drowsy-detection accuracy CDF (n={len(per_user)} users; "
+        "paper median 0.922)",
+        per_user,
+    ))
+
+    assert np.median(per_user) >= 0.8
+    assert per_user.mean() >= 0.75

@@ -1,0 +1,43 @@
+"""Fig. 15(a) — continuous missed-detection rates.
+
+Paper: "The first missed detection rate in continuous blink detection is
+4.9%, the probability of two consecutive missed detections is 2.1%, and
+three consecutive missed detections are 0.2%." The reproduction pools the
+hit masks of a multi-session battery and computes the same three rates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.eval.metrics import consecutive_miss_rates
+from repro.eval.report import format_table
+from repro.eval.runner import run_session
+
+PAPER_RATES = (0.049, 0.021, 0.002)
+
+
+@pytest.mark.slow
+def test_fig15a_consecutive_missed_detection(benchmark):
+    def battery():
+        masks = []
+        for seed in range(40, 48):
+            scenario = base_scenario(duration_s=90.0, road="smooth_highway")
+            result = run_session(scenario, seed=seed)
+            masks.append(result.score.matched_true)
+        return consecutive_miss_rates(masks)
+
+    rates = benchmark.pedantic(battery, rounds=1, iterations=1)
+
+    rows = [
+        [f">= {k} consecutive", f"{rates[k-1]*100:.1f} %", f"{PAPER_RATES[k-1]*100:.1f} %"]
+        for k in (1, 2, 3)
+    ]
+    print_block(format_table("Fig. 15(a): continuous missed detection",
+                             ["run length", "measured", "paper"], rows))
+
+    # Shape: strictly decreasing run probabilities, single misses around a
+    # few percent, triple misses rare.
+    assert rates[0] > rates[1] > rates[2]
+    assert rates[0] < 0.25
+    assert rates[2] < 0.05

@@ -1,0 +1,73 @@
+"""Fig. 15(b,c,d) — accuracy vs distance, elevation and azimuth.
+
+Paper:
+- 15(b): >95 % at 40 cm; ~91 % at 80 cm ("keep the device within 0.4 m").
+- 15(c): high accuracy (≈95 %) within 30° elevation, decreasing above.
+- 15(d): >90 % within 0–15° azimuth, significant drop beyond 30°.
+
+All three curves emerge from the radar equation, the antenna pattern and
+the eye's specular aspect factor — no per-experiment tuning.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.eval.report import format_series
+from repro.eval.sweeps import azimuth_sweep, distance_sweep, elevation_sweep
+
+SEEDS = [61, 62, 63]
+
+
+@pytest.mark.slow
+def test_fig15b_distance(benchmark):
+    base = base_scenario(duration_s=60.0)
+    results = benchmark.pedantic(
+        lambda: distance_sweep(base, SEEDS, distances_m=(0.2, 0.4, 0.8)),
+        rounds=1, iterations=1,
+    )
+    print_block(format_series("Fig. 15(b): accuracy vs distance (paper: ~.96/.95+/.91)",
+                              results, unit="accuracy"))
+    # Shape: 40 cm is the sweet spot the paper recommends; 80 cm is never
+    # better than 40 cm; everything stays in a usable regime. (Our thermal
+    # margin at 80 cm is gentler than the testbed's, so the 0.4→0.8 drop
+    # can be within noise of the battery — see EXPERIMENTS.md.)
+    assert results[0.4] >= 0.8
+    assert results[0.4] >= max(results.values()) - 0.01
+    assert results[0.8] <= results[0.4] + 0.01
+    assert min(results.values()) >= 0.6
+
+
+@pytest.mark.slow
+def test_fig15c_elevation(benchmark):
+    base = base_scenario(duration_s=60.0)
+    results = benchmark.pedantic(
+        lambda: elevation_sweep(base, SEEDS), rounds=1, iterations=1
+    )
+    print_block(format_series("Fig. 15(c): accuracy vs elevation (paper: ~95% to 30°)",
+                              results, unit="accuracy"))
+    # Shape: high through 30°, monotone loss beyond.
+    assert results[0] >= 0.8
+    assert results[15] >= 0.8
+    assert results[30] >= 0.7
+    assert results[45] < results[30]
+    assert results[60] < results[45] + 0.05
+    assert results[60] < 0.5
+
+
+@pytest.mark.slow
+def test_fig15d_azimuth(benchmark):
+    base = base_scenario(duration_s=60.0)
+    results = benchmark.pedantic(
+        lambda: azimuth_sweep(base, SEEDS), rounds=1, iterations=1
+    )
+    print_block(format_series("Fig. 15(d): accuracy vs azimuth (paper: >90% to 15°, "
+                              "drop past 30°)", results, unit="accuracy"))
+    # Shape: high inside 15°, then the "significant drop" — the exact
+    # knee between 30° and 45° sits at threshold and jitters between
+    # adjacent angles on a small battery, so the assertion brackets it.
+    assert results[0] >= 0.85
+    assert results[15] >= 0.8
+    assert results[30] < results[15]
+    assert max(results[30], results[45]) < results[15] - 0.2
+    assert results[60] < 0.3  # azimuth collapses hard (Sec. VIII)

@@ -1,0 +1,113 @@
+"""Fig. 16 — other factors: glasses, road types, eye size, detection window.
+
+Paper:
+- 16(a): myopia glasses 94 %, sunglasses 93 % (slightly below bare eyes).
+- 16(b): accuracy decreases over road-type groups 1→4 (smooth → bumpy/
+  maneuver-heavy).
+- 16(c): smaller eyes reduce accuracy, but even the smallest (3.5×0.8 cm)
+  stays above 90 %.
+- 16(d): drowsiness detection is best with 1–2 min windows; the paper
+  settles on 1 min.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.core.drowsy import BlinkRateClassifier, blink_rate_windows
+from repro.core.pipeline import BlinkRadar
+from repro.datasets import EYE_SIZE_LEVELS
+from repro.eval.report import format_series
+from repro.eval.sweeps import eye_size_sweep, glasses_sweep, road_group_sweep
+from repro.sim import Scenario, simulate
+from repro.vehicle.road import ROAD_GROUPS
+
+SEEDS = [71, 72, 73]
+
+
+@pytest.mark.slow
+def test_fig16a_glasses(benchmark):
+    base = base_scenario(duration_s=60.0)
+    results = benchmark.pedantic(lambda: glasses_sweep(base, SEEDS), rounds=1, iterations=1)
+    print_block(format_series("Fig. 16(a): accuracy vs eyewear (paper: none > "
+                              "myopia .94 > sunglasses .93)", results, unit="accuracy"))
+    # Shape: both kinds of glasses cost a little accuracy; sunglasses most;
+    # the system keeps working ("can still complete the routine work").
+    assert results["none"] >= results["myopia"] - 0.03
+    assert results["myopia"] >= results["sunglasses"] - 0.03
+    assert results["sunglasses"] >= 0.6
+
+
+@pytest.mark.slow
+def test_fig16b_road_type_groups(benchmark):
+    base = base_scenario(duration_s=60.0)
+    groups = {g: roads[:2] for g, roads in ROAD_GROUPS.items()}
+    results = benchmark.pedantic(
+        lambda: road_group_sweep(base, SEEDS[:2], groups), rounds=1, iterations=1
+    )
+    print_block(format_series("Fig. 16(b): accuracy vs road group (paper: group 1 "
+                              "best, bumpy/maneuvers worst)", results, unit="accuracy"))
+    # Shape: the smooth group is at least as good as the maneuver-heavy
+    # and bumpy groups; everything stays in a usable regime.
+    assert results[1] >= results[4] - 0.05
+    assert min(results.values()) >= 0.6
+    assert max(results.values()) >= 0.8
+
+
+@pytest.mark.slow
+def test_fig16c_eye_size(benchmark):
+    base = base_scenario(duration_s=60.0)
+    results = benchmark.pedantic(
+        lambda: eye_size_sweep(base, SEEDS[:2], EYE_SIZE_LEVELS), rounds=1, iterations=1
+    )
+    print_block(format_series("Fig. 16(c): accuracy vs eye size S1..S6 (paper: "
+                              ">90% even at 3.5x0.8cm)", results, unit="accuracy"))
+    # Shape: bigger eyes never hurt; the smallest eye still works.
+    assert results["S6"] >= results["S1"] - 0.05
+    assert results["S1"] >= 0.65
+
+
+@pytest.mark.slow
+def test_fig16d_detection_window(benchmark):
+    """Drowsy accuracy vs decision-window length over 4-minute sessions.
+
+    One set of captures is detected once; only the windowing varies, as in
+    the paper's sweep of 1–4 minutes.
+    """
+    participant = base_scenario().participant
+    radar = BlinkRadar(25.0)
+
+    def battery():
+        rates = {}
+        events = {}
+        for state in ("awake", "drowsy"):
+            scenario = Scenario(participant=participant, state=state,
+                                duration_s=240.0, road="smooth_highway")
+            train = radar.detect(simulate(scenario, seed=81).frames)
+            test = radar.detect(simulate(scenario, seed=82).frames)
+            events[state] = (train, test)
+
+        accuracy = {}
+        for window_s in (60.0, 120.0, 180.0, 240.0):
+            awake_train = blink_rate_windows(
+                events["awake"][0].event_times_s, 240.0, window_s)
+            drowsy_train = blink_rate_windows(
+                events["drowsy"][0].event_times_s, 240.0, window_s)
+            clf = BlinkRateClassifier().fit(awake_train, drowsy_train)
+            correct = total = 0
+            for state in ("awake", "drowsy"):
+                test_rates = blink_rate_windows(
+                    events[state][1].event_times_s, 240.0, window_s)
+                verdicts = clf.classify_windows(test_rates)
+                correct += sum(v == state for v in verdicts)
+                total += len(verdicts)
+            accuracy[window_s / 60.0] = correct / total
+        return accuracy
+
+    accuracy = benchmark.pedantic(battery, rounds=1, iterations=1)
+    print_block(format_series("Fig. 16(d): drowsy accuracy vs window (min) "
+                              "(paper: best at 1-2 min)", accuracy, unit="accuracy"))
+    # Shape: short windows already work well — the paper's reason to pick
+    # a 1-minute window (longer windows delay detection without gains that
+    # matter; with 4-min sessions they also leave very few test windows).
+    assert accuracy[1.0] >= 0.7

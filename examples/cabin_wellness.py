@@ -1,0 +1,59 @@
+"""In-cabin wellness: blinks, drowsiness AND vital signs from one radar.
+
+The interference BlinkRadar suppresses — breathing at the torso, heartbeat
+(BCG) at the head — is exactly the signal of in-vehicle vital-sign systems
+like V2iFi. This example runs both consumers on one frame stream: the
+blink pipeline and the vital-signs monitor, with the blink detections fed
+back to clean the heart-rate estimate.
+
+Run:
+    python examples/cabin_wellness.py
+"""
+
+import numpy as np
+
+from repro import BlinkRadar, Scenario, simulate
+from repro.core.analytics import estimate_blink_durations
+from repro.core.vitals import VitalSignsMonitor
+from repro.physio import ParticipantProfile
+from repro.physio.cardiac import CardiacModel
+from repro.physio.respiration import RespirationModel
+
+
+def main() -> None:
+    driver = ParticipantProfile(
+        "wellness-driver",
+        respiration=RespirationModel(rate_hz=0.27),   # 16.2 breaths/min
+        cardiac=CardiacModel(rate_hz=1.2),            # 72 bpm
+    )
+    scenario = Scenario(participant=driver, road="smooth_highway",
+                        duration_s=60.0)
+    trace = simulate(scenario, seed=99)
+
+    radar = BlinkRadar(frame_rate_hz=25.0)
+    result = radar.detect(trace.frames)
+    durations = estimate_blink_durations(
+        result.relative_distance, result.events, 25.0
+    )
+
+    monitor = VitalSignsMonitor(25.0)
+    vitals = monitor.measure(
+        trace.frames,
+        blink_frames=np.array([e.frame_index for e in result.events]),
+    )
+
+    print("one minute of driving, one radar, three read-outs\n")
+    print(f"blinks        : {len(result.events)} detected "
+          f"({result.blink_rate_per_min():.1f}/min, "
+          f"mean duration {np.nanmean(durations):.2f} s)")
+    print(f"respiration   : {vitals.respiration_bpm:.1f} breaths/min "
+          f"(simulated truth {driver.respiration.rate_hz * 60:.1f})")
+    print(f"heart rate    : {vitals.heart_rate_bpm:.0f} bpm "
+          f"(simulated truth {driver.cardiac.rate_hz * 60:.0f}; BCG-based "
+          "estimates are coarse)")
+    print(f"\nsensor bins    : head/eyes at bin {vitals.head_bin}, "
+          f"torso at bin {vitals.torso_bin}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Real-time pipeline over the emulated device stack.
+
+The full loop of the paper's implementation (Sec. V): the IR-UWB chip
+produces int16 I/Q frames into its FIFO, the host driver reads them over
+SPI, and the streaming detector emits blink events with a 2 s cold start —
+all emulated, all exercised.
+
+Run:
+    python examples/realtime_device_stream.py
+"""
+
+from repro import BlinkRadar, Scenario, simulate
+from repro.hardware import FrameStream, SpiBus, UwbRadarDevice, XepDriver
+from repro.physio import ParticipantProfile
+
+
+def main() -> None:
+    # A 30 s drive feeds the emulated chip.
+    scenario = Scenario(
+        participant=ParticipantProfile("streaming-driver"),
+        road="smooth_highway",
+        duration_s=30.0,
+    )
+    trace = simulate(scenario, seed=7)
+
+    device = UwbRadarDevice(frame_source=trace.frames)
+    driver = XepDriver(SpiBus(device), n_bins=trace.n_bins)
+    version = driver.probe()
+    print(f"probed radar chip, firmware version {version:#04x}")
+    driver.configure(frame_rate_div=4, tx_power=0xFF)  # 25 FPS, full power
+    driver.start()
+
+    radar = BlinkRadar(frame_rate_hz=25.0)
+    print("streaming (first 2 s are the cold start) ...")
+    for timestamp, frame in FrameStream(driver, device, n_frames=trace.n_frames):
+        status = radar.process_frame(frame)
+        if status.restarted:
+            print(f"  [{timestamp:5.1f}s] body movement -> pipeline restart")
+        if status.event is not None:
+            print(f"  [{timestamp:5.1f}s] BLINK  "
+                  f"(prominence {status.event.prominence:.2e})")
+    driver.stop()
+
+    print(f"\nstream done: {len(radar.stream_events)} blinks detected, "
+          f"{len(trace.blink_events)} in ground truth")
+    print("true blink times: " + "  ".join(f"{t:.1f}" for t in trace.blink_times_s))
+
+
+if __name__ == "__main__":
+    main()

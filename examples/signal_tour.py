@@ -1,0 +1,77 @@
+"""A guided tour of the BlinkRadar signal chain, stage by stage.
+
+Walks one simulated capture through every stage of Fig. 3 and prints what
+each stage sees: the transmit pulse, the multipath range profile, noise
+reduction, the I/Q trajectory of the eye bin, the viewing position, the
+relative-distance waveform and the final LEVD detections.
+
+Run:
+    python examples/signal_tour.py
+"""
+
+import numpy as np
+
+from repro import Scenario, simulate
+from repro.core.binselect import select_eye_bin
+from repro.core.levd import detect_blinks
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.dsp.circlefit import fit_circle_dominant
+from repro.physio import ParticipantProfile
+from repro.rf.pulse import GaussianPulse
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. RF signal design (Sec. IV-A)")
+    pulse = GaussianPulse()
+    print(f"   Gaussian pulse: sigma={pulse.sigma_s*1e9:.3f} ns, "
+          f"duration={pulse.duration_s*1e9:.2f} ns")
+    print(f"   carrier 7.3 GHz, -10 dB bandwidth "
+          f"{pulse.measured_bandwidth_10db(60e9)/1e9:.2f} GHz")
+
+    print("=" * 64)
+    print("2. A 30 s capture at the 40 cm operating point")
+    scenario = Scenario(participant=ParticipantProfile("tour"),
+                        duration_s=30.0, allow_posture_shifts=False)
+    trace = simulate(scenario, seed=3)
+    print(f"   {trace.n_frames} frames x {trace.n_bins} range bins, "
+          f"{len(trace.blink_events)} blinks in ground truth")
+
+    print("=" * 64)
+    print("3. Preprocessing (Sec. IV-B): cascading filter")
+    pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+    processed = pre.apply(trace.frames)
+    raw_noise = np.std(np.abs(trace.frames[:, -10:]))
+    out_noise = np.std(np.abs(processed[:, -10:]))
+    print(f"   empty-range noise: {raw_noise:.2e} -> {out_noise:.2e} "
+          f"({20*np.log10(raw_noise/out_noise):.1f} dB suppression)")
+
+    print("=" * 64)
+    print("4. Range-bin identification (Sec. IV-D)")
+    selection = select_eye_bin(processed[:175])
+    cfg = scenario.radar
+    print(f"   selected bin {selection.bin_index} "
+          f"({cfg.bin_to_range(selection.bin_index):.3f} m); "
+          f"true eye bin {trace.eye_bin} ({cfg.bin_to_range(trace.eye_bin):.3f} m)")
+    print(f"   candidate dynamic peaks: "
+          + ", ".join(f"{cfg.bin_to_range(b):.2f} m" for b in selection.candidate_bins))
+
+    print("=" * 64)
+    print("5. Viewing position by arc fitting (Sec. IV-E)")
+    series = processed[:, selection.bin_index]
+    fit = fit_circle_dominant(series[60:])
+    print(f"   arc centre (I/Q): {fit.center.real:.2e} + {fit.center.imag:.2e}j")
+    print(f"   arc radius |dynamic vector|: {fit.radius:.2e}")
+
+    print("=" * 64)
+    print("6. Relative distance r(k) + LEVD")
+    r = np.abs(series - fit.center)
+    events = detect_blinks(r[60:], 25.0)
+    detected = [e.time_s + 60 / 25 for e in events]
+    print(f"   LEVD found {len(events)} blinks")
+    print("   true:     " + "  ".join(f"{t:5.1f}" for t in trace.blink_times_s))
+    print("   detected: " + "  ".join(f"{t:5.1f}" for t in detected))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: lets the package install in environments without the
+``wheel`` package (where PEP-517 editable installs fail)."""
+from setuptools import setup
+
+setup()

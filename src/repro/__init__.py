@@ -1,0 +1,49 @@
+"""BlinkRadar: non-intrusive driver eye-blink detection with UWB radar.
+
+A full reproduction of Hu et al., ICDCS 2022, with a physics-based IR-UWB
+simulation substrate standing in for the radar hardware and the human
+participants (see DESIGN.md for the substitution map).
+
+Quickstart::
+
+    from repro import BlinkRadar, Scenario, simulate
+    from repro.physio import ParticipantProfile
+
+    scenario = Scenario(participant=ParticipantProfile("P01"),
+                        road="smooth_highway", duration_s=60.0)
+    trace = simulate(scenario, seed=1)
+
+    radar = BlinkRadar(frame_rate_hz=trace.frame_rate_hz)
+    result = radar.detect(trace.frames)
+    print(result.event_times_s, trace.blink_times_s)
+
+Subpackages
+-----------
+- :mod:`repro.core` — the BlinkRadar detection pipeline (the paper's
+  contribution).
+- :mod:`repro.rf` — IR-UWB radar physics (pulse, channel, receiver).
+- :mod:`repro.physio` — driver physiology (blinks, respiration, BCG, ...).
+- :mod:`repro.vehicle` — cabin clutter and road-induced vibration.
+- :mod:`repro.sim` — scenario composition and labelled traces.
+- :mod:`repro.hardware` — register/SPI-level device emulation.
+- :mod:`repro.baselines` — ablations and naive alternatives.
+- :mod:`repro.eval` — metrics, session batteries and sweeps.
+- :mod:`repro.datasets` — the synthetic participant cohorts.
+- :mod:`repro.dsp` — the generic DSP substrate underneath it all.
+"""
+
+from repro.core.pipeline import BlinkRadar, BlinkRadarResult
+from repro.sim.scenario import Scenario
+from repro.sim.simulator import simulate
+from repro.sim.trace import RadarTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlinkRadar",
+    "BlinkRadarResult",
+    "Scenario",
+    "simulate",
+    "RadarTrace",
+    "__version__",
+]

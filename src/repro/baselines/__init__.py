@@ -1,0 +1,47 @@
+"""Baselines and ablation variants.
+
+The paper argues for each design choice mostly by words; these runnable
+baselines let the benchmarks argue with numbers:
+
+- :class:`~repro.baselines.amplitude.AmplitudeDetector` — LEVD on the 1-D
+  amplitude |H(k)| instead of the I/Q-space relative distance (the
+  "leveraging the phase or amplitude" strawman of Sec. I's second
+  contribution).
+- :class:`~repro.baselines.phase.PhaseDetector` — LEVD on the unwrapped
+  phase: head motion swamps the blink's small phase signature.
+- :class:`~repro.baselines.freqdomain.SpectralRateEstimator` — frequency-
+  domain blink-rate estimation; fails because blinks are sparse and
+  aperiodic (Sec. I, challenge 3).
+- :mod:`repro.baselines.variants` — :class:`RealTimeConfig` factories for
+  ablations of bin selection (amplitude-peak / global-variance), the
+  adaptive update (static viewing position) and the arc-fit method.
+- :mod:`repro.baselines.camera` — a simulated camera (eye-aspect-ratio)
+  blink detector whose accuracy depends on illumination, the foil of the
+  paper's privacy/lighting argument.
+"""
+
+from repro.baselines.amplitude import AmplitudeDetector
+from repro.baselines.camera import CameraModel, EarBlinkDetector, simulate_ear_series
+from repro.baselines.freqdomain import SpectralRateEstimator
+from repro.baselines.phase import PhaseDetector
+from repro.baselines.variants import (
+    amplitude_bin_config,
+    kasa_fit_config,
+    max_variance_bin_config,
+    static_view_config,
+    taubin_fit_config,
+)
+
+__all__ = [
+    "AmplitudeDetector",
+    "CameraModel",
+    "EarBlinkDetector",
+    "simulate_ear_series",
+    "SpectralRateEstimator",
+    "PhaseDetector",
+    "amplitude_bin_config",
+    "kasa_fit_config",
+    "max_variance_bin_config",
+    "static_view_config",
+    "taubin_fit_config",
+]

@@ -1,0 +1,74 @@
+"""1-D amplitude baseline.
+
+Runs the same preprocessing and bin selection as BlinkRadar but feeds LEVD
+with the raw amplitude |H(k)| of the selected bin instead of the relative
+distance to the viewing position. Whether a blink is visible in |H| then
+depends on the accidental alignment of the eye's phasor with the total
+vector — the geometric luck the viewing position exists to remove — and
+head motion leaks straight into the observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binselect import select_eye_bin
+from repro.core.levd import BlinkDetection, LevdConfig, LocalExtremeValueDetector
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+
+__all__ = ["AmplitudeDetector"]
+
+
+class AmplitudeDetector:
+    """Blink detection on the 1-D amplitude of the selected range bin."""
+
+    def __init__(
+        self,
+        frame_rate_hz: float,
+        cold_start_frames: int = 50,
+        levd: LevdConfig | None = None,
+        bin_strategy: str = "nearest_peak",
+    ) -> None:
+        if frame_rate_hz <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate_hz}")
+        self.frame_rate_hz = frame_rate_hz
+        self.cold_start_frames = cold_start_frames
+        self.levd_config = levd or LevdConfig()
+        self.bin_strategy = bin_strategy
+
+    def detect(self, frames: np.ndarray) -> list[BlinkDetection]:
+        """Offline detection over a capture; returns blink events."""
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"expected (n_frames, n_bins), got {frames.shape}")
+        if frames.shape[0] <= self.cold_start_frames:
+            return []
+        pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+        processed = pre.apply(frames)
+        selection = select_eye_bin(
+            processed[: self.cold_start_frames * 3], strategy=self.bin_strategy
+        )
+        amplitude = np.abs(processed[:, selection.bin_index])
+
+        detector = LocalExtremeValueDetector(self.frame_rate_hz, self.levd_config)
+        detector.seed_sigma(amplitude[: self.cold_start_frames])
+        events: list[BlinkDetection] = []
+        for value in amplitude[self.cold_start_frames :]:
+            event = detector.push(float(value))
+            if event is not None:
+                events.append(self._shift(event))
+        tail = detector.finish()
+        if tail is not None:
+            events.append(self._shift(tail))
+        return events
+
+    def _shift(self, event: BlinkDetection) -> BlinkDetection:
+        """Re-anchor LEVD-local indices to the capture's frame counter."""
+        index = event.frame_index + self.cold_start_frames
+        return BlinkDetection(
+            frame_index=index, time_s=index / self.frame_rate_hz, prominence=event.prominence
+        )
+
+    def event_times(self, frames: np.ndarray) -> np.ndarray:
+        """Convenience: detected apex times as an array."""
+        return np.array([e.time_s for e in self.detect(frames)])

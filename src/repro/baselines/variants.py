@@ -1,0 +1,65 @@
+"""Ablation configurations of the full pipeline.
+
+Each factory returns a :class:`~repro.core.realtime.RealTimeConfig` that
+disables or swaps exactly one BlinkRadar design choice, for the ablation
+benchmark (DESIGN.md Sec. 2, "Baselines & ablations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.realtime import RealTimeConfig
+
+__all__ = [
+    "amplitude_bin_config",
+    "max_variance_bin_config",
+    "static_view_config",
+    "kasa_fit_config",
+    "taubin_fit_config",
+]
+
+
+def amplitude_bin_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
+    """Bin selection by the strongest amplitude peak.
+
+    The "naive approach" of Sec. IV-D: locks onto the strongest reflector
+    (cabin clutter or torso), not the eye.
+    """
+    return replace(base or RealTimeConfig(), bin_strategy="max_amplitude")
+
+
+def max_variance_bin_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
+    """Bin selection by the global variance maximum.
+
+    Takes the paper's variance criterion without the nearest-reflector
+    refinement: the breathing torso wins and the detector watches the
+    chest instead of the eyes.
+    """
+    return replace(base or RealTimeConfig(), bin_strategy="max_variance")
+
+
+def static_view_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
+    """No adaptive updates: one cold-start fit, then frozen.
+
+    Ablates Sec. IV-E's adaptive update (bin re-selection and viewing-
+    position refits effectively never happen again).
+    """
+    base = base or RealTimeConfig()
+    return replace(
+        base,
+        bin_reselect_interval=10**9,
+        viewpos_update_interval=10**9,
+        restart_factor=10**6,
+        restart_radius_ratio=10**6,
+    )
+
+
+def kasa_fit_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
+    """Arc fitting with the Kåsa method instead of Pratt."""
+    return replace(base or RealTimeConfig(), viewpos_method="kasa")
+
+
+def taubin_fit_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
+    """Arc fitting with the Taubin method instead of Pratt."""
+    return replace(base or RealTimeConfig(), viewpos_method="taubin")

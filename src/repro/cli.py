@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday workflows:
+
+- ``simulate``  — render a scenario to a labelled ``.npz`` trace.
+- ``detect``    — run the BlinkRadar pipeline over a saved trace and score
+  it against the embedded ground truth.
+- ``vitals``    — respiration + heart rate from a saved trace.
+- ``sweep``     — one of the paper's parameter sweeps, printed as a table.
+
+Examples::
+
+    python -m repro simulate --road bumpy --state drowsy --seed 7 -o drive.npz
+    python -m repro detect drive.npz
+    python -m repro vitals drive.npz
+    python -m repro sweep distance --seeds 1 2 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import BlinkRadar, RadarTrace, Scenario, simulate
+from repro.datasets import EYE_SIZE_LEVELS
+from repro.eval.metrics import score_blink_detection
+from repro.eval.report import format_series, format_table
+from repro.eval.sweeps import (
+    azimuth_sweep,
+    distance_sweep,
+    elevation_sweep,
+    eye_size_sweep,
+    glasses_sweep,
+    road_group_sweep,
+)
+from repro.physio import ParticipantProfile
+from repro.rf.geometry import SensorPose
+from repro.vehicle.road import ROAD_GROUPS, ROAD_TYPES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlinkRadar reproduction: simulate, detect, sweep.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a driving session to .npz")
+    sim.add_argument("--road", default="smooth_highway", choices=sorted(ROAD_TYPES))
+    sim.add_argument("--state", default="awake", choices=["awake", "drowsy"])
+    sim.add_argument("--duration", type=float, default=60.0, help="seconds")
+    sim.add_argument("--distance", type=float, default=0.4, help="radar-to-eye metres")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--participant", default="CLI")
+    sim.add_argument("-o", "--output", required=True, help="output .npz path")
+
+    det = sub.add_parser("detect", help="detect blinks in a saved trace")
+    det.add_argument("trace", help="input .npz path")
+
+    vit = sub.add_parser("vitals", help="respiration + heart rate from a trace")
+    vit.add_argument("trace", help="input .npz path")
+
+    swp = sub.add_parser("sweep", help="run one of the paper's sweeps")
+    swp.add_argument(
+        "which",
+        choices=["distance", "elevation", "azimuth", "glasses", "roads", "eyesize"],
+    )
+    swp.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    swp.add_argument("--duration", type=float, default=60.0)
+    swp.add_argument("--csv", help="also write the series to this .csv/.json path")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        participant=ParticipantProfile(args.participant),
+        road=args.road,
+        state=args.state,
+        duration_s=args.duration,
+        pose=SensorPose(distance_m=args.distance),
+    )
+    trace = simulate(scenario, seed=args.seed)
+    trace.save(args.output)
+    print(
+        f"wrote {args.output}: {trace.n_frames} frames x {trace.n_bins} bins, "
+        f"{len(trace.blink_events)} blinks, road={args.road}, state={args.state}"
+    )
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    trace = RadarTrace.load(args.trace)
+    radar = BlinkRadar(frame_rate_hz=trace.frame_rate_hz)
+    result = radar.detect(trace.frames)
+    score = score_blink_detection(trace.blink_times_s, result.event_times_s)
+    rows = [
+        ["true blinks", len(trace.blink_events)],
+        ["detected", len(result.events)],
+        ["accuracy (paper metric)", f"{score.accuracy:.3f}"],
+        ["precision", f"{score.precision:.3f}"],
+        ["F1", f"{score.f1:.3f}"],
+        ["detected rate (blinks/min)", f"{result.blink_rate_per_min():.1f}"],
+        ["restarts", len(result.restart_times_s)],
+    ]
+    print(format_table(f"BlinkRadar on {args.trace}", ["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_vitals(args: argparse.Namespace) -> int:
+    from repro.core.vitals import VitalSignsMonitor
+
+    trace = RadarTrace.load(args.trace)
+    radar = BlinkRadar(frame_rate_hz=trace.frame_rate_hz)
+    blinks = np.array([e.frame_index for e in radar.detect(trace.frames).events])
+    vs = VitalSignsMonitor(trace.frame_rate_hz).measure(trace.frames, blink_frames=blinks)
+    rows = [
+        ["respiration (bpm)", f"{vs.respiration_bpm:.1f}"],
+        ["heart rate (bpm)", f"{vs.heart_rate_bpm:.1f}"],
+        ["torso bin / head bin", f"{vs.torso_bin} / {vs.head_bin}"],
+    ]
+    print(format_table(f"Vital signs from {args.trace}", ["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    base = Scenario(
+        participant=ParticipantProfile("CLI"),
+        duration_s=args.duration,
+        allow_posture_shifts=False,
+    )
+    if args.which == "distance":
+        series = distance_sweep(base, args.seeds)
+        title = "Accuracy vs distance (Fig. 15(b))"
+    elif args.which == "elevation":
+        series = elevation_sweep(base, args.seeds)
+        title = "Accuracy vs elevation (Fig. 15(c))"
+    elif args.which == "azimuth":
+        series = azimuth_sweep(base, args.seeds)
+        title = "Accuracy vs azimuth (Fig. 15(d))"
+    elif args.which == "glasses":
+        series = glasses_sweep(base, args.seeds)
+        title = "Accuracy vs eyewear (Fig. 16(a))"
+    elif args.which == "roads":
+        series = road_group_sweep(base, args.seeds, ROAD_GROUPS)
+        title = "Accuracy vs road group (Fig. 16(b))"
+    else:
+        series = eye_size_sweep(base, args.seeds, EYE_SIZE_LEVELS)
+        title = "Accuracy vs eye size (Fig. 16(c))"
+    print(format_series(title, series, unit="accuracy"))
+    if args.csv:
+        from repro.eval.export import export_series
+
+        path = export_series(args.csv, series, x_label=args.which, y_label="accuracy")
+        print(f"series written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "detect": _cmd_detect,
+        "vitals": _cmd_vitals,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

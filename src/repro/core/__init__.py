@@ -1,0 +1,70 @@
+"""BlinkRadar's detection pipeline — the paper's contribution.
+
+The layering mirrors Sec. IV of the paper:
+
+- :mod:`repro.core.preprocess` — Sec. IV-B: cascading noise-reduction
+  filter and background subtraction.
+- :mod:`repro.core.iqspace` — Sec. IV-C: I/Q-domain observables (phase
+  Δφ = −4π f₀ Δd / c and amplitude Δα).
+- :mod:`repro.core.binselect` — Sec. IV-D: finding the eye's range bin by
+  the variance of the 2-D I/Q trajectory (exploiting the persistent
+  respiration/BCG disturbance).
+- :mod:`repro.core.viewpos` — Sec. IV-E: optimal viewing position by Pratt
+  arc fitting; the relative-distance signal r(k).
+- :mod:`repro.core.levd` — Sec. IV-E: local extreme value detection with a
+  5σ threshold.
+- :mod:`repro.core.realtime` — Sec. IV-E: the streaming detector with
+  2 s cold start, adaptive updates and restart on body movement.
+- :mod:`repro.core.drowsy` — Sec. IV-F: blink-rate windows → awake/drowsy.
+- :mod:`repro.core.analytics` — extension: blink durations, PERCLOS-style
+  closure load, and the rate+duration drowsiness model.
+- :mod:`repro.core.vitals` — extension: respiration and heart rate from
+  the same frame stream.
+- :mod:`repro.core.pipeline` — the :class:`~repro.core.pipeline.BlinkRadar`
+  façade tying everything together.
+
+The pipeline only ever sees complex frame matrices — it never imports the
+simulator.
+"""
+
+from repro.core.analytics import (
+    DualFeatureClassifier,
+    PerclosClassifier,
+    estimate_blink_durations,
+    result_window_features,
+    window_metrics,
+)
+from repro.core.binselect import BinSelection, select_eye_bin, variance_profile
+from repro.core.drowsy import BlinkRateClassifier, DrowsyDetector
+from repro.core.vitals import VitalSigns, VitalSignsMonitor
+from repro.core.levd import BlinkDetection, LevdConfig, LocalExtremeValueDetector, detect_blinks
+from repro.core.pipeline import BlinkRadar, BlinkRadarResult
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.core.realtime import RealTimeBlinkDetector, RealTimeConfig
+from repro.core.viewpos import ViewingPositionTracker
+
+__all__ = [
+    "DualFeatureClassifier",
+    "PerclosClassifier",
+    "estimate_blink_durations",
+    "result_window_features",
+    "window_metrics",
+    "VitalSigns",
+    "VitalSignsMonitor",
+    "BinSelection",
+    "select_eye_bin",
+    "variance_profile",
+    "BlinkRateClassifier",
+    "DrowsyDetector",
+    "BlinkDetection",
+    "LevdConfig",
+    "LocalExtremeValueDetector",
+    "detect_blinks",
+    "BlinkRadar",
+    "BlinkRadarResult",
+    "Preprocessor",
+    "PreprocessorConfig",
+    "RealTimeBlinkDetector",
+    "RealTimeConfig",
+    "ViewingPositionTracker",
+]

@@ -1,0 +1,208 @@
+"""The :class:`BlinkRadar` façade — the system of Fig. 3 in one object.
+
+Offline use::
+
+    radar = BlinkRadar(frame_rate_hz=25.0)
+    result = radar.detect(frames)           # (n_frames, n_bins) complex
+    result.event_times_s                    # detected blinks
+    result.blink_rate_per_min()             # rate over the whole capture
+
+Streaming use::
+
+    radar = BlinkRadar(frame_rate_hz=25.0)
+    for frame in device:
+        status = radar.process_frame(frame)
+        if status.event:
+            ...
+
+Drowsiness::
+
+    clf = radar.train_drowsiness(awake_frames_list, drowsy_frames_list)
+    verdicts = radar.detect_drowsiness(frames, clf)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.drowsy import BlinkRateClassifier, DrowsyDetector, blink_rate_windows
+from repro.core.levd import BlinkDetection
+from repro.core.realtime import FrameStatus, RealTimeBlinkDetector, RealTimeConfig
+
+__all__ = ["BlinkRadar", "BlinkRadarResult"]
+
+
+@dataclass(frozen=True)
+class BlinkRadarResult:
+    """Everything the offline detector produces for one capture.
+
+    Attributes
+    ----------
+    events:
+        Detected blinks in time order.
+    relative_distance:
+        The r(k) waveform (NaN during cold starts) — Fig. 11's trace.
+    selected_bins:
+        Selected eye bin per frame (−1 during cold starts).
+    restart_times_s:
+        Times at which body movement forced a full restart.
+    frame_rate_hz:
+        Slow-time frame rate of the capture.
+    """
+
+    events: list[BlinkDetection]
+    relative_distance: np.ndarray = field(repr=False)
+    selected_bins: np.ndarray = field(repr=False)
+    restart_times_s: list[float]
+    frame_rate_hz: float
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames processed."""
+        return len(self.relative_distance)
+
+    @property
+    def duration_s(self) -> float:
+        """Capture duration."""
+        return self.n_frames / self.frame_rate_hz
+
+    @property
+    def event_times_s(self) -> np.ndarray:
+        """Detected blink apex times."""
+        return np.array([e.time_s for e in self.events])
+
+    def blink_rate_per_min(self) -> float:
+        """Mean detected blink rate over the capture."""
+        if self.duration_s == 0:
+            return 0.0
+        return 60.0 * len(self.events) / self.duration_s
+
+    def rate_windows(self, window_s: float = 60.0) -> np.ndarray:
+        """Blink rates over hopping windows (Sec. IV-F)."""
+        return blink_rate_windows(self.event_times_s, self.duration_s, window_s=window_s)
+
+
+class BlinkRadar:
+    """Public API of the BlinkRadar system."""
+
+    def __init__(self, frame_rate_hz: float = 25.0, config: RealTimeConfig | None = None) -> None:
+        self.frame_rate_hz = frame_rate_hz
+        self.config = config or RealTimeConfig()
+        self._detector: RealTimeBlinkDetector | None = None
+
+    def _fresh_detector(self) -> RealTimeBlinkDetector:
+        return RealTimeBlinkDetector(self.frame_rate_hz, self.config)
+
+    # ---------------------------------------------------------------- offline
+    def detect(self, frames: np.ndarray) -> BlinkRadarResult:
+        """Run the full pipeline over a recorded capture.
+
+        Implemented as a strict replay of the streaming detector, so
+        offline and online behaviour cannot diverge.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"expected (n_frames, n_bins), got {frames.shape}")
+        detector = self._fresh_detector()
+        r = np.empty(frames.shape[0])
+        bins = np.empty(frames.shape[0], dtype=int)
+        restarts: list[float] = []
+        for k in range(frames.shape[0]):
+            status = detector.process_frame(frames[k])
+            r[k] = status.relative_distance
+            bins[k] = status.selected_bin
+            if status.restarted:
+                restarts.append(k / self.frame_rate_hz)
+        detector.finish()
+        return BlinkRadarResult(
+            events=list(detector.events),
+            relative_distance=r,
+            selected_bins=bins,
+            restart_times_s=restarts,
+            frame_rate_hz=self.frame_rate_hz,
+        )
+
+    # --------------------------------------------------------------- streaming
+    def process_frame(self, frame: np.ndarray) -> FrameStatus:
+        """Streaming entry point; keeps one persistent detector."""
+        if self._detector is None:
+            self._detector = self._fresh_detector()
+        return self._detector.process_frame(frame)
+
+    def reset_stream(self) -> None:
+        """Drop the persistent streaming detector."""
+        self._detector = None
+
+    @property
+    def stream_events(self) -> list[BlinkDetection]:
+        """Events emitted so far on the streaming path."""
+        return [] if self._detector is None else list(self._detector.events)
+
+    # --------------------------------------------------------------- drowsiness
+    def train_drowsiness(
+        self,
+        awake_captures: list[np.ndarray],
+        drowsy_captures: list[np.ndarray],
+        window_s: float = 60.0,
+        features: str = "rate+duration",
+    ):
+        """Train the per-user drowsiness model from calibration captures.
+
+        Each capture is a (n_frames, n_bins) frame matrix recorded in a
+        known state; its *detected* blink behaviour (not ground truth)
+        feeds the classifier, exactly as a deployed system would calibrate.
+
+        ``features`` selects the model:
+
+        - ``"rate+duration"`` (default) — the two-feature Gaussian model of
+          :class:`repro.core.analytics.DualFeatureClassifier`. Drowsy
+          blinks are both more frequent *and* over twice as long (the
+          paper's own Sec. II/IV-F rationale), and the duration feature
+          carries most of the separation.
+        - ``"rate"`` — the paper-literal blink-rate-only model
+          (:class:`repro.core.drowsy.BlinkRateClassifier`); kept for the
+          ablation benchmark.
+        """
+        from repro.core.analytics import DualFeatureClassifier, result_window_features
+
+        if features == "rate":
+            awake_rates = np.concatenate(
+                [self.detect(c).rate_windows(window_s) for c in awake_captures]
+            )
+            drowsy_rates = np.concatenate(
+                [self.detect(c).rate_windows(window_s) for c in drowsy_captures]
+            )
+            return BlinkRateClassifier().fit(awake_rates, drowsy_rates)
+        if features != "rate+duration":
+            raise ValueError(
+                f"unknown feature set {features!r}; expected 'rate' or 'rate+duration'"
+            )
+        awake = np.vstack(
+            [result_window_features(self.detect(c), window_s) for c in awake_captures]
+        )
+        drowsy = np.vstack(
+            [result_window_features(self.detect(c), window_s) for c in drowsy_captures]
+        )
+        return DualFeatureClassifier().fit(awake, drowsy)
+
+    def detect_drowsiness(
+        self,
+        frames: np.ndarray,
+        classifier,
+        window_s: float = 60.0,
+    ) -> list[str]:
+        """Per-window awake/drowsy verdicts for a capture.
+
+        Accepts either classifier flavour from :meth:`train_drowsiness`.
+        """
+        from repro.core.analytics import DualFeatureClassifier, result_window_features
+
+        result = self.detect(frames)
+        if isinstance(classifier, DualFeatureClassifier):
+            features = result_window_features(result, window_s)
+            return [classifier.classify(rate, dur) for rate, dur in features]
+        return DrowsyDetector(classifier, window_s=window_s).detect(
+            result.events, result.duration_s
+        )

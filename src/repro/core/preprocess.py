@@ -1,0 +1,142 @@
+"""Signal preprocessing (paper Sec. IV-B).
+
+Two stages, exactly as the paper orders them:
+
+1. **Noise reduction** — "a cascading filter comprised of a low-pass Finite
+   Impulse Response (FIR) filter and a smoothing filter ... The order of
+   the designed FIR filter is 26, and Hamming window is used. The smooth
+   filter with a window size of 50 points" (Sec. IV-B-1). The cascade runs
+   along *fast time* (the per-frame range profile; Fig. 7's axis is ns).
+   Because the pulse envelope is wider than the smoothing window, this
+   coherently combines the echo across neighbouring bins and suppresses
+   thermal noise without losing the per-path baseband phase (which is
+   constant across the envelope).
+2. **Background subtraction** — remove the static reflectors (seats,
+   steering wheel) whose "energy does not change with time" by tracking
+   each bin's static component with a loopback filter and subtracting the
+   previous estimate (Sec. IV-B-2, Fig. 8).
+
+A light slow-time smoother (3 frames) is applied between the stages: at
+25 FPS it only removes above-4 Hz hash, far faster than any blink edge.
+
+Both a vectorised offline path (:meth:`Preprocessor.apply`) and a
+frame-at-a-time streaming path (:meth:`Preprocessor.push`) are provided;
+the streaming path uses causal smoothing and is what the real-time
+detector runs on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import CascadingFilter, LoopbackFilter
+
+__all__ = ["PreprocessorConfig", "Preprocessor"]
+
+
+@dataclass(frozen=True)
+class PreprocessorConfig:
+    """Knobs of the preprocessing stage (defaults from the paper).
+
+    Attributes
+    ----------
+    fir_order / fir_cutoff / smooth_window:
+        The cascading fast-time filter: order-26 Hamming FIR plus a
+        smoothing window. The paper says "window size of 50 points"; the
+        physically meaningful width is *one range-resolution cell* (the
+        smoother coherently combines the pulse envelope without smearing
+        distinct reflectors together), which at this simulator's 6.4 mm
+        bin spacing and 10.7 cm resolution is ~16 bins. A 50-bin window
+        (32 cm) would flatten the variance profile and let bin selection
+        land on an envelope shoulder, where motion leaks into the
+        amplitude observable.
+    slow_time_window:
+        Light slow-time moving average (frames). 3 at 25 FPS keeps every
+        blink edge.
+    clutter_alpha:
+        Loopback-filter memory for background subtraction. 0.995 at 25 FPS
+        is a ~8 s time constant: static reflectors vanish, respiration/BCG
+        disturbances (needed by bin selection) survive.
+    subtract_background:
+        Background subtraction can be disabled for ablation.
+    """
+
+    fir_order: int = 26
+    fir_cutoff: float = 0.1
+    smooth_window: int = 16
+    slow_time_window: int = 3
+    clutter_alpha: float = 0.995
+    subtract_background: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slow_time_window < 1:
+            raise ValueError("slow_time_window must be >= 1")
+
+
+class Preprocessor:
+    """Stateful preprocessing front-end (fast-time cascade + clutter removal)."""
+
+    def __init__(self, config: PreprocessorConfig | None = None) -> None:
+        self.config = config or PreprocessorConfig()
+        self._cascade = CascadingFilter(
+            fir_order=self.config.fir_order,
+            cutoff=self.config.fir_cutoff,
+            smooth_window=self.config.smooth_window,
+        )
+        self._loopback = LoopbackFilter(alpha=self.config.clutter_alpha)
+        self._slow_buffer: deque[np.ndarray] = deque(maxlen=self.config.slow_time_window)
+
+    def reset(self) -> None:
+        """Forget all state (used when the detector restarts)."""
+        self._loopback.reset()
+        self._slow_buffer.clear()
+
+    @property
+    def background(self) -> np.ndarray | None:
+        """Current static-clutter estimate (None before the first frame)."""
+        return self._loopback.background
+
+    def denoise_frame(self, frame: np.ndarray) -> np.ndarray:
+        """Fast-time cascading filter only (stage 1, stateless)."""
+        frame = np.asarray(frame)
+        if frame.ndim != 1:
+            raise ValueError(f"denoise_frame expects one frame, got shape {frame.shape}")
+        return self._cascade.apply(frame, axis=-1)
+
+    def push(self, frame: np.ndarray) -> np.ndarray:
+        """Streaming path: preprocess one frame.
+
+        Order: fast-time cascade → causal slow-time average over the last
+        ``slow_time_window`` frames → background subtraction.
+        """
+        denoised = self.denoise_frame(frame)
+        self._slow_buffer.append(denoised)
+        smoothed = np.mean(np.stack(self._slow_buffer), axis=0)
+        if not self.config.subtract_background:
+            return smoothed
+        return self._loopback.push(smoothed)
+
+    def apply(self, frames: np.ndarray) -> np.ndarray:
+        """Offline path: preprocess a whole (n_frames, n_bins) matrix.
+
+        Bit-identical to calling :meth:`push` frame by frame on a fresh
+        instance (causal slow-time smoothing, sequential loopback).
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"apply expects (n_frames, n_bins), got {frames.shape}")
+        denoised = self._cascade.apply(frames, axis=1)
+        # Causal slow-time moving average with a growing warm-up window.
+        window = self.config.slow_time_window
+        smoothed = np.empty_like(denoised)
+        cumsum = np.cumsum(denoised, axis=0)
+        for k in range(frames.shape[0]):
+            lo = max(0, k - window + 1)
+            total = cumsum[k] - (cumsum[lo - 1] if lo > 0 else 0)
+            smoothed[k] = total / (k - lo + 1)
+        if not self.config.subtract_background:
+            return smoothed
+        return self._loopback.apply(smoothed)

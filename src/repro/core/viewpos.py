@@ -1,0 +1,161 @@
+"""Optimal viewing position (paper Sec. IV-E).
+
+Between blinks, the eye bin's I/Q trajectory is an arc: BCG and
+respiration-coupled head motion rotate the dynamic vector at near-constant
+amplitude. The centre of that arc is the *optimal viewing position* — the
+point from which a blink (a radial reflectivity change) shows up as a pure
+change of distance while head motion (tangential) shows up not at all.
+
+The paper fits the arc with the Pratt method over an accumulation window
+(50 chirps = 2 s cold start) and "continuously tracks the relative distance
+from the viewing position to the newly collected signal samples";
+:class:`ViewingPositionTracker` is that component, with the adaptive
+refresh policy of Sec. IV-E ("the viewing position is updated as soon as
+enough samples are accumulated").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.dsp.circlefit import CircleFit, fit_circle_dominant
+
+__all__ = ["ViewingPositionTracker"]
+
+_METHODS = ("pratt", "kasa", "taubin")
+
+
+class ViewingPositionTracker:
+    """Track the arc centre of one bin's I/Q trajectory over slow time.
+
+    Parameters
+    ----------
+    window:
+        Number of trailing samples an arc fit may use once available. 150
+        frames (6 s) spans a full breathing cycle, so the arc subtends its
+        full angle and the centre's radial error — which would otherwise
+        leak respiration into r(k) — stays small.
+    update_interval:
+        Refit cadence in samples. 1 refits on every frame; larger values
+        trade accuracy for compute, the balance Sec. IV-E discusses.
+    method:
+        ``"pratt"`` (the paper's choice), ``"kasa"`` or ``"taubin"``.
+    blend:
+        Exponential blending factor for refits (avoids step jumps in r(k)).
+    min_samples:
+        The first fit happens as soon as this many samples exist — the
+        paper's 50-chirp (2 s) cold start; the window then keeps growing
+        to ``window`` for better-conditioned refits.
+    """
+
+    def __init__(
+        self,
+        window: int = 150,
+        update_interval: int = 25,
+        method: str = "pratt",
+        blend: float = 0.5,
+        min_samples: int = 50,
+    ) -> None:
+        if window < 3:
+            raise ValueError(f"window must be >= 3 for a circle fit, got {window}")
+        if not 3 <= min_samples <= window:
+            raise ValueError(f"min_samples must be in [3, window], got {min_samples}")
+        if update_interval < 1:
+            raise ValueError(f"update_interval must be >= 1, got {update_interval}")
+        if method not in _METHODS:
+            raise ValueError(f"unknown fit method {method!r}; expected one of {sorted(_METHODS)}")
+        if not 0.0 < blend <= 1.0:
+            raise ValueError(f"blend must be in (0, 1], got {blend}")
+        self.window = window
+        self.min_samples = min_samples
+        self.update_interval = update_interval
+        self.method = method
+        self.blend = blend
+        # Dominant-ring fit: the samples live on two concentric arcs
+        # (eyes open / closed) plus transitions, and a plain algebraic fit
+        # returns a badly biased compromise circle once a drowsy driver
+        # spends ~40 % of frames mid-blink. fit_circle_dominant multi-
+        # starts candidate centres, scores them by ring concentration and
+        # converges onto the majority (open-eye) ring, whose centre is the
+        # static point both rings share.
+        self._fit_fn = lambda pts: fit_circle_dominant(pts, method=method)
+        self._buffer: deque[complex] = deque(maxlen=window)
+        self._fit: CircleFit | None = None
+        self._since_fit = 0
+        self._refitted = False
+
+    @property
+    def fit(self) -> CircleFit | None:
+        """Most recent arc fit (None before the buffer first fills)."""
+        return self._fit
+
+    @property
+    def center(self) -> complex | None:
+        """Current viewing position (arc centre), if available."""
+        return self._fit.center if self._fit is not None else None
+
+    @property
+    def ready(self) -> bool:
+        """True once a viewing position exists."""
+        return self._fit is not None
+
+    @property
+    def refitted(self) -> bool:
+        """True when the most recent :meth:`push` updated the centre.
+
+        The real-time detector uses this to tell LEVD that r(k) has a
+        measurement discontinuity at this sample.
+        """
+        return self._refitted
+
+    def reset(self) -> None:
+        """Drop all state (detector restart)."""
+        self._buffer.clear()
+        self._fit = None
+        self._since_fit = 0
+        self._refitted = False
+
+    def push(self, sample: complex, exclude_from_fit: bool = False) -> float | None:
+        """Feed one complex sample; return the relative distance r(k).
+
+        Returns None during the cold start (buffer not yet filled to
+        ``min_samples``). The viewing position is (re)fitted whenever
+        enough samples exist and ``update_interval`` samples have passed
+        since the last fit.
+
+        ``exclude_from_fit`` keeps the sample out of the fit buffer while
+        still measuring its relative distance — the real-time detector
+        flags radial outliers (blink samples) this way so that a drowsy
+        driver's blink-heavy signal cannot bias the arc fit off the quiet
+        arc ("arc fitting" is meaningful only over the blink-free motion).
+        """
+        if not exclude_from_fit:
+            self._buffer.append(complex(sample))
+        self._since_fit += 1
+        self._refitted = False
+        if len(self._buffer) >= self.min_samples and (
+            self._fit is None or self._since_fit >= self.update_interval
+        ):
+            self._refitted = True
+            new_fit = self._fit_fn(np.array(self._buffer))
+            if self._fit is None:
+                self._fit = new_fit
+            else:
+                # Exponential blending: refits track slow drift without the
+                # step jumps in r(k) that hard re-centring would inject
+                # (each jump would read as a fake extremum pair to LEVD).
+                center = (1.0 - self.blend) * self._fit.center + self.blend * new_fit.center
+                radius = (1.0 - self.blend) * self._fit.radius + self.blend * new_fit.radius
+                self._fit = CircleFit(center=center, radius=radius, rmse=new_fit.rmse)
+            self._since_fit = 0
+        if self._fit is None:
+            return None
+        return float(abs(complex(sample) - self._fit.center))
+
+    def relative_distance(self, samples: np.ndarray) -> np.ndarray:
+        """Batch r(k) for ``samples`` against the *current* centre."""
+        if self._fit is None:
+            raise RuntimeError("no viewing position yet; push samples first")
+        return np.abs(np.asarray(samples) - self._fit.center)

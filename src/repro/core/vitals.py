@@ -1,0 +1,158 @@
+"""Vital-sign monitoring from the same radar (extension).
+
+The interference BlinkRadar fights — respiration at the torso, BCG pulses
+at the head — is itself the signal of the in-vehicle vital-sign systems
+the paper builds on (V2iFi, MoVi-Fi). Since the simulation substrate
+models both, this module closes the loop: respiration and heart rate
+estimated from the identical frame stream, giving the repository an
+in-cabin wellness monitor beside the blink detector.
+
+- Respiration: the torso's range bin is the *global* variance maximum (the
+  very property blink bin-selection must avoid); its unwrapped phase is
+  chest displacement, whose spectral peak is the breathing rate.
+- Heart rate: the head's BCG pulse train rides on the eye/face bin; its
+  phase, band-passed around the cardiac band, peaks at the heart rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binselect import select_eye_bin
+from repro.core.iqspace import phase_series
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.dsp.spectral import dominant_frequency
+
+__all__ = ["VitalSigns", "VitalSignsMonitor"]
+
+
+@dataclass(frozen=True)
+class VitalSigns:
+    """One capture's vital-sign estimates.
+
+    Attributes
+    ----------
+    respiration_bpm:
+        Breathing rate, breaths per minute.
+    heart_rate_bpm:
+        Heart rate, beats per minute.
+    torso_bin / head_bin:
+        The fast-time bins the estimates were read from.
+    """
+
+    respiration_bpm: float
+    heart_rate_bpm: float
+    torso_bin: int
+    head_bin: int
+
+
+class VitalSignsMonitor:
+    """Respiration + heart rate from raw radar frames."""
+
+    #: Physiological search bands (Hz).
+    RESP_BAND = (0.1, 0.5)
+    CARDIAC_BAND = (0.8, 2.2)
+
+    def __init__(self, frame_rate_hz: float = 25.0) -> None:
+        if frame_rate_hz <= 0:
+            raise ValueError(f"frame rate must be positive, got {frame_rate_hz}")
+        if frame_rate_hz / 2 <= self.CARDIAC_BAND[1]:
+            raise ValueError("frame rate too low to resolve the cardiac band")
+        self.frame_rate_hz = frame_rate_hz
+        self._pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+
+    def _band_limited(self, x: np.ndarray, band: tuple[float, float]) -> np.ndarray:
+        """Zero-mean band-pass via the difference of two low-pass FIRs."""
+        lo = design_lowpass_fir(64, band[0] / self.frame_rate_hz)
+        hi = design_lowpass_fir(64, min(band[1] / self.frame_rate_hz, 0.49))
+        return fir_filter(x, hi) - fir_filter(x, lo)
+
+    def _cardiac_rate(self, cardiac: np.ndarray, resp_hz: float) -> float:
+        """Beat rate of the BCG pulse train by lag-domain autocorrelation.
+
+        The BCG line is weak and HRV-smeared, so a spectral peak is
+        unreliable; the pulse train's *autocorrelation* still peaks at the
+        beat period. Lags corresponding to respiration harmonics are
+        masked, since breathing dominates head sway and its harmonics fall
+        inside the cardiac band.
+        """
+        x = cardiac - np.mean(cardiac)
+        ac = np.correlate(x, x, "full")[len(x) - 1 :]
+        lags_s = np.arange(len(ac)) / self.frame_rate_hz
+        usable = (lags_s >= 1.0 / self.CARDIAC_BAND[1]) & (
+            lags_s <= 1.0 / self.CARDIAC_BAND[0]
+        )
+        if resp_hz > 0:
+            k = 1
+            while k * resp_hz <= self.CARDIAC_BAND[1] + 0.1:
+                if k * resp_hz >= self.CARDIAC_BAND[0]:
+                    usable &= np.abs(1.0 / np.maximum(lags_s, 1e-9) - k * resp_hz) > 0.05
+                k += 1
+        if not usable.any():
+            usable = (lags_s >= 1.0 / self.CARDIAC_BAND[1]) & (
+                lags_s <= 1.0 / self.CARDIAC_BAND[0]
+            )
+        lag = float(lags_s[usable][int(np.argmax(ac[usable]))])
+        return 1.0 / lag
+
+    def measure(
+        self, frames: np.ndarray, blink_frames: np.ndarray | None = None
+    ) -> VitalSigns:
+        """Estimate vitals from a capture of at least ~20 s.
+
+        Shorter captures cannot resolve the respiration line (a 0.2 Hz
+        peak needs several cycles). ``blink_frames`` (slow-time indices of
+        detected blink apexes, e.g. from the blink pipeline running on the
+        same stream) markedly improves the heart-rate estimate: blink
+        transients are broadband interference in the cardiac band and are
+        excised by interpolation before rate estimation.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"expected (n_frames, n_bins), got {frames.shape}")
+        min_frames = int(20 * self.frame_rate_hz)
+        if frames.shape[0] < min_frames:
+            raise ValueError(
+                f"need >= {min_frames} frames (~20 s) to resolve respiration, "
+                f"got {frames.shape[0]}"
+            )
+        processed = self._pre.apply(frames)
+
+        # Torso: the global variance maximum (what blink bin-selection
+        # deliberately skips past).
+        torso = select_eye_bin(processed, strategy="max_variance")
+        torso_phase = phase_series(
+            processed[:, torso.bin_index] - processed[:, torso.bin_index].mean()
+        )
+        resp_hz = dominant_frequency(
+            self._band_limited(torso_phase, self.RESP_BAND),
+            self.frame_rate_hz,
+            fmin=self.RESP_BAND[0],
+        )
+
+        # Head: the nearest dynamic cluster (the blink pipeline's bin).
+        head = select_eye_bin(processed)
+        head_phase = phase_series(
+            processed[:, head.bin_index] - processed[:, head.bin_index].mean()
+        )
+        if blink_frames is not None and len(blink_frames) > 0:
+            half = int(0.5 * self.frame_rate_hz)
+            mask = np.zeros(len(head_phase), dtype=bool)
+            for k in np.asarray(blink_frames, dtype=int):
+                mask[max(0, k - half) : k + half + 1] = True
+            if mask.any() and not mask.all():
+                idx = np.arange(len(head_phase))
+                head_phase = head_phase.copy()
+                head_phase[mask] = np.interp(idx[mask], idx[~mask], head_phase[~mask])
+        cardiac = self._band_limited(head_phase, self.CARDIAC_BAND)
+        heart_hz = self._cardiac_rate(cardiac, resp_hz)
+
+        return VitalSigns(
+            respiration_bpm=resp_hz * 60.0,
+            heart_rate_bpm=heart_hz * 60.0,
+            torso_bin=torso.bin_index,
+            head_bin=head.bin_index,
+        )

@@ -1,0 +1,17 @@
+"""Synthetic study populations standing in for the paper's participants."""
+
+from repro.datasets.participants import (
+    EYE_SIZE_LEVELS,
+    TABLE1_NIGHT_RATES,
+    TABLE1_MORNING_RATES,
+    study_participants,
+    table1_participants,
+)
+
+__all__ = [
+    "EYE_SIZE_LEVELS",
+    "TABLE1_NIGHT_RATES",
+    "TABLE1_MORNING_RATES",
+    "study_participants",
+    "table1_participants",
+]

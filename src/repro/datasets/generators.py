@@ -1,0 +1,112 @@
+"""Dataset generation: build and cache the study's trace corpus on disk.
+
+The paper's evaluation is a corpus of labelled sessions; this module
+materialises the synthetic equivalent as ``.npz`` traces plus a JSON
+manifest, so benchmarks and downstream experiments can share one corpus
+instead of re-simulating.
+
+Layout::
+
+    <root>/
+      manifest.json
+      P01_awake_smooth_highway_s0500.npz
+      P01_drowsy_smooth_highway_s0500.npz
+      ...
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.datasets.participants import study_participants
+from repro.sim import RadarTrace, Scenario, simulate
+
+__all__ = ["SessionSpec", "generate_study_corpus", "load_manifest"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One session in the corpus manifest."""
+
+    participant: str
+    state: str
+    road: str
+    seed: int
+    duration_s: float
+    filename: str
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form for the manifest."""
+        return {
+            "participant": self.participant,
+            "state": self.state,
+            "road": self.road,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "filename": self.filename,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SessionSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**d)
+
+
+def generate_study_corpus(
+    root: str | Path,
+    roads: tuple[str, ...] = ("smooth_highway",),
+    states: tuple[str, ...] = ("awake", "drowsy"),
+    seeds: tuple[int, ...] = (500,),
+    duration_s: float = 60.0,
+    participants=None,
+    overwrite: bool = False,
+) -> list[SessionSpec]:
+    """Simulate and save the study corpus; returns the manifest entries.
+
+    Existing files are reused unless ``overwrite`` — generation is
+    deterministic given (participant, state, road, seed), so a cached file
+    is always identical to a regenerated one.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    participants = participants if participants is not None else study_participants()
+    specs: list[SessionSpec] = []
+    for participant in participants:
+        for state in states:
+            for road in roads:
+                for seed in seeds:
+                    filename = f"{participant.name}_{state}_{road}_s{seed:04d}.npz"
+                    spec = SessionSpec(
+                        participant=participant.name,
+                        state=state,
+                        road=road,
+                        seed=seed,
+                        duration_s=duration_s,
+                        filename=filename,
+                    )
+                    specs.append(spec)
+                    path = root / filename
+                    if path.exists() and not overwrite:
+                        continue
+                    scenario = Scenario(
+                        participant=participant,
+                        state=state,
+                        road=road,
+                        duration_s=duration_s,
+                    )
+                    simulate(scenario, seed=seed).save(path)
+    manifest = root / "manifest.json"
+    manifest.write_text(json.dumps([s.to_dict() for s in specs], indent=2))
+    return specs
+
+
+def load_manifest(root: str | Path) -> list[tuple[SessionSpec, RadarTrace]]:
+    """Load every (spec, trace) pair recorded in a corpus manifest."""
+    root = Path(root)
+    manifest = root / "manifest.json"
+    if not manifest.exists():
+        raise FileNotFoundError(f"no manifest.json under {root}")
+    specs = [SessionSpec.from_dict(d) for d in json.loads(manifest.read_text())]
+    return [(spec, RadarTrace.load(root / spec.filename)) for spec in specs]

@@ -1,0 +1,101 @@
+"""Participant populations.
+
+Two cohorts mirror the paper's:
+
+- :func:`table1_participants` — the 8 volunteers of the Sec. II-C blink-
+  frequency study (Table I). The paper's reported per-minute counts are
+  kept as reference constants; the profiles' blink statistics are set so
+  the simulated cohort reproduces the same morning-vs-night contrast.
+  (Table I's header skips participant 3 — a typo in the paper — so one
+  column is reconstructed as the cohort median.)
+- :func:`study_participants` — the 12 drivers of the main evaluation
+  (Sec. VI-A: 8 male, 4 female, ages 19–27), with participant-to-
+  participant diversity in eye geometry, eyewear, vitals and blink
+  behaviour. This diversity is what spreads the accuracy CDFs of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from repro.physio.blink import BlinkStatistics
+from repro.physio.cardiac import CardiacModel
+from repro.physio.driver import EyeGeometry, ParticipantProfile
+from repro.physio.respiration import RespirationModel
+
+__all__ = [
+    "TABLE1_MORNING_RATES",
+    "TABLE1_NIGHT_RATES",
+    "EYE_SIZE_LEVELS",
+    "table1_participants",
+    "study_participants",
+]
+
+#: Table I, "10:00am" row — blinks per minute when energized. The paper
+#: prints 7 values under columns 1,2,4,5,6,7,8; participant 3 is filled
+#: with the cohort median (20).
+TABLE1_MORNING_RATES = (20, 21, 20, 19, 20, 18, 22, 21)
+
+#: Table I, "10:00pm" row — blinks per minute when lethargic.
+TABLE1_NIGHT_RATES = (25, 26, 26, 30, 25, 26, 24, 26)
+
+#: Fig. 16(c)'s eye-size levels S1..S6, (width, height) in metres, from the
+#: paper's smallest (3.5 × 0.8 cm) upward.
+EYE_SIZE_LEVELS: dict[str, tuple[float, float]] = {
+    "S1": (0.035, 0.008),
+    "S2": (0.038, 0.009),
+    "S3": (0.040, 0.010),
+    "S4": (0.042, 0.011),
+    "S5": (0.044, 0.012),
+    "S6": (0.046, 0.013),
+}
+
+
+def table1_participants() -> list[ParticipantProfile]:
+    """The 8 volunteers of the Table I blink-frequency study."""
+    profiles = []
+    for i, (morning, night) in enumerate(zip(TABLE1_MORNING_RATES, TABLE1_NIGHT_RATES), 1):
+        profiles.append(
+            ParticipantProfile(
+                name=f"T{i:02d}",
+                awake=BlinkStatistics.awake(rate_per_min=float(morning)),
+                drowsy=BlinkStatistics.drowsy(rate_per_min=float(night)),
+            )
+        )
+    return profiles
+
+
+# Per-participant diversity of the 12-driver cohort. Values are fixed (not
+# drawn at runtime) so every benchmark sees the identical population.
+_STUDY_ROWS = [
+    # name, eye (w, h) m, glasses, awake rate, drowsy rate, resp Hz, HR Hz, restlessness
+    ("P01", (0.042, 0.011), "none", 19.0, 26.0, 0.25, 1.15, 1.0),
+    ("P02", (0.044, 0.012), "none", 17.0, 24.0, 0.22, 1.05, 0.8),
+    ("P03", (0.040, 0.010), "myopia", 21.0, 28.0, 0.27, 1.25, 1.2),
+    ("P04", (0.038, 0.009), "none", 20.0, 27.0, 0.24, 1.10, 1.0),
+    ("P05", (0.046, 0.013), "none", 18.0, 25.0, 0.26, 1.20, 0.9),
+    ("P06", (0.041, 0.011), "myopia", 22.0, 30.0, 0.23, 1.00, 1.1),
+    ("P07", (0.043, 0.012), "none", 16.0, 23.0, 0.28, 1.30, 0.7),
+    ("P08", (0.039, 0.010), "none", 20.0, 26.0, 0.25, 1.12, 1.3),
+    ("P09", (0.036, 0.009), "sunglasses", 19.0, 27.0, 0.24, 1.18, 1.0),
+    ("P10", (0.045, 0.012), "none", 21.0, 29.0, 0.26, 1.08, 0.9),
+    ("P11", (0.040, 0.011), "myopia", 18.0, 24.0, 0.27, 1.22, 1.1),
+    ("P12", (0.037, 0.009), "none", 23.0, 31.0, 0.25, 1.15, 1.2),
+]
+
+
+def study_participants() -> list[ParticipantProfile]:
+    """The 12 drivers of the main evaluation (Sec. VI-A)."""
+    profiles = []
+    for name, (w, h), glasses, awake_rate, drowsy_rate, resp_hz, hr_hz, restless in _STUDY_ROWS:
+        profiles.append(
+            ParticipantProfile(
+                name=name,
+                eye=EyeGeometry(width_m=w, height_m=h),
+                glasses=glasses,
+                awake=BlinkStatistics.awake(rate_per_min=awake_rate),
+                drowsy=BlinkStatistics.drowsy(rate_per_min=drowsy_rate),
+                respiration=RespirationModel(rate_hz=resp_hz),
+                cardiac=CardiacModel(rate_hz=hr_hz),
+                restlessness=restless,
+            )
+        )
+    return profiles

@@ -1,0 +1,56 @@
+"""Generic digital-signal-processing substrate for BlinkRadar.
+
+This subpackage is self-contained (depends only on numpy) and provides the
+signal-processing primitives that both the radar simulator and the
+BlinkRadar detection pipeline are built from:
+
+- :mod:`repro.dsp.filters` — window-method FIR design, smoothing, the
+  cascading noise-reduction filter of the paper (Sec. IV-B-1), and the
+  loopback clutter filter used for background subtraction.
+- :mod:`repro.dsp.circlefit` — algebraic circle fits (Kåsa, Pratt, Taubin);
+  the paper uses the Pratt method for arc fitting (Sec. IV-E).
+- :mod:`repro.dsp.peaks` — local-extrema utilities underlying the local
+  extreme value detection (LEVD) blink detector.
+- :mod:`repro.dsp.spectral` — FFT helpers, power spectra and range-time maps.
+- :mod:`repro.dsp.windows` — sliding/hopping window iteration over slow time.
+- :mod:`repro.dsp.stats` — robust scale estimators, running statistics and
+  empirical CDFs.
+"""
+
+from repro.dsp.circlefit import CircleFit, fit_circle_kasa, fit_circle_pratt, fit_circle_taubin
+from repro.dsp.filters import (
+    CascadingFilter,
+    LoopbackFilter,
+    design_lowpass_fir,
+    fir_filter,
+    moving_average,
+    smooth,
+)
+from repro.dsp.peaks import alternating_extrema, local_maxima, local_minima
+from repro.dsp.spectral import amplitude_spectrum, power_spectrum, range_time_map
+from repro.dsp.stats import empirical_cdf, mad_sigma, RunningStats
+from repro.dsp.windows import hopping_windows, sliding_windows
+
+__all__ = [
+    "CircleFit",
+    "fit_circle_kasa",
+    "fit_circle_pratt",
+    "fit_circle_taubin",
+    "CascadingFilter",
+    "LoopbackFilter",
+    "design_lowpass_fir",
+    "fir_filter",
+    "moving_average",
+    "smooth",
+    "alternating_extrema",
+    "local_maxima",
+    "local_minima",
+    "amplitude_spectrum",
+    "power_spectrum",
+    "range_time_map",
+    "empirical_cdf",
+    "mad_sigma",
+    "RunningStats",
+    "hopping_windows",
+    "sliding_windows",
+]

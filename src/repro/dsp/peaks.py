@@ -1,0 +1,116 @@
+"""Local-extrema utilities.
+
+These primitives underlie BlinkRadar's Local Extreme Value Detection (LEVD,
+Sec. IV-E): "find alternative local maxima and minima and compare the
+difference between two nearby local maxima and minima with a predefined
+threshold". :func:`alternating_extrema` produces exactly that alternating
+max/min sequence; the thresholding lives in :mod:`repro.core.levd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Extremum", "local_maxima", "local_minima", "alternating_extrema"]
+
+
+@dataclass(frozen=True)
+class Extremum:
+    """A local extremum of a 1-D signal.
+
+    Attributes
+    ----------
+    index:
+        Sample index of the extremum.
+    value:
+        Signal value at the extremum.
+    kind:
+        ``"max"`` or ``"min"``.
+    """
+
+    index: int
+    value: float
+    kind: str
+
+
+def local_maxima(x: np.ndarray, min_distance: int = 1) -> np.ndarray:
+    """Indices of local maxima of ``x``, plateau-aware.
+
+    A maximum is a sample strictly above its neighbours, or the centre of a
+    flat plateau whose edges both descend. ``min_distance`` enforces a
+    minimum index spacing: when two maxima are closer, the larger one wins.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("local_maxima expects a 1-D signal")
+    if len(x) < 3:
+        return np.array([], dtype=int)
+    # Candidate samples: >= both neighbours (includes every plateau point).
+    cand = np.flatnonzero((x[1:-1] >= x[:-2]) & (x[1:-1] >= x[2:])) + 1
+    if cand.size == 0:
+        return cand
+    # Collapse consecutive candidates into runs; a run [s..e] is a maximum
+    # only if the signal descends on both sides of the run.
+    breaks = np.flatnonzero(np.diff(cand) > 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [cand.size - 1]])
+    peaks = []
+    for s, e in zip(starts, ends):
+        lo, hi = int(cand[s]), int(cand[e])
+        if x[lo - 1] < x[lo] and x[hi + 1] < x[hi]:
+            peaks.append((lo + hi) // 2)
+    candidates = np.array(peaks, dtype=int)
+    return _enforce_distance(candidates, x, min_distance, keep_largest=True)
+
+
+def local_minima(x: np.ndarray, min_distance: int = 1) -> np.ndarray:
+    """Indices of local minima of ``x`` (see :func:`local_maxima`)."""
+    return local_maxima(-np.asarray(x, dtype=float), min_distance=min_distance)
+
+
+def _enforce_distance(
+    candidates: np.ndarray, x: np.ndarray, min_distance: int, keep_largest: bool
+) -> np.ndarray:
+    """Greedy non-maximum suppression of extrema closer than ``min_distance``."""
+    if min_distance <= 1 or candidates.size <= 1:
+        return candidates
+    order = np.argsort(x[candidates])
+    if keep_largest:
+        order = order[::-1]
+    keep: list[int] = []
+    taken = np.zeros(len(x), dtype=bool)
+    for pos in candidates[order]:
+        lo, hi = max(0, pos - min_distance + 1), min(len(x), pos + min_distance)
+        if not taken[lo:hi].any():
+            keep.append(int(pos))
+            taken[pos] = True
+    return np.array(sorted(keep), dtype=int)
+
+
+def alternating_extrema(x: np.ndarray, min_distance: int = 1) -> list[Extremum]:
+    """Strictly alternating sequence of local maxima and minima.
+
+    Merges the maxima and minima of ``x`` into one index-ordered list and
+    collapses runs of same-kind extrema to the most extreme one, so the
+    result alternates max, min, max, ... (starting with whichever comes
+    first). This is the "alternative local maxima and minima" sequence the
+    LEVD step of the paper compares pairwise.
+    """
+    x = np.asarray(x, dtype=float)
+    maxima = [Extremum(int(i), float(x[i]), "max") for i in local_maxima(x, min_distance)]
+    minima = [Extremum(int(i), float(x[i]), "min") for i in local_minima(x, min_distance)]
+    merged = sorted(maxima + minima, key=lambda e: e.index)
+    out: list[Extremum] = []
+    for ext in merged:
+        if out and out[-1].kind == ext.kind:
+            # Same kind twice in a row: keep the more extreme one.
+            better = (
+                ext.value > out[-1].value if ext.kind == "max" else ext.value < out[-1].value
+            )
+            if better:
+                out[-1] = ext
+        else:
+            out.append(ext)
+    return out

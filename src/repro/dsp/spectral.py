@@ -1,0 +1,98 @@
+"""Spectral utilities: spectra, spectrograms and range-time maps.
+
+Used for the paper's signal-design figures (Fig. 5: pulse in time and
+frequency domain), the multipath range profile (Fig. 6(b)) and the
+range-time power maps around background subtraction (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "amplitude_spectrum",
+    "power_spectrum",
+    "spectrogram",
+    "range_time_map",
+    "dominant_frequency",
+]
+
+
+def amplitude_spectrum(x: np.ndarray, fs: float) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided amplitude spectrum ``(freqs, |X(f)|)`` of a real signal.
+
+    Parameters
+    ----------
+    x:
+        1-D real signal.
+    fs:
+        Sampling rate in Hz.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or len(x) == 0:
+        raise ValueError("amplitude_spectrum expects a non-empty 1-D signal")
+    spectrum = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(len(x), d=1.0 / fs)
+    return freqs, np.abs(spectrum)
+
+
+def power_spectrum(x: np.ndarray, fs: float) -> tuple[np.ndarray, np.ndarray]:
+    """One-sided power spectrum ``(freqs, |X(f)|²/N)`` of a (possibly complex) signal."""
+    x = np.asarray(x)
+    if x.ndim != 1 or len(x) == 0:
+        raise ValueError("power_spectrum expects a non-empty 1-D signal")
+    if np.iscomplexobj(x):
+        spectrum = np.fft.fft(x)
+        freqs = np.fft.fftfreq(len(x), d=1.0 / fs)
+        order = np.argsort(freqs)
+        return freqs[order], (np.abs(spectrum[order]) ** 2) / len(x)
+    spectrum = np.fft.rfft(x)
+    freqs = np.fft.rfftfreq(len(x), d=1.0 / fs)
+    return freqs, (np.abs(spectrum) ** 2) / len(x)
+
+
+def spectrogram(
+    x: np.ndarray, fs: float, nfft: int = 256, hop: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hann-windowed magnitude spectrogram ``(freqs, times, S)`` of a real signal."""
+    x = np.asarray(x, dtype=float)
+    if hop is None:
+        hop = nfft // 2
+    if hop < 1 or nfft < 2:
+        raise ValueError("nfft must be >= 2 and hop >= 1")
+    if len(x) < nfft:
+        raise ValueError(f"signal length {len(x)} shorter than nfft {nfft}")
+    window = np.hanning(nfft)
+    starts = np.arange(0, len(x) - nfft + 1, hop)
+    frames = np.stack([x[s : s + nfft] * window for s in starts])
+    spect = np.abs(np.fft.rfft(frames, axis=1)).T
+    freqs = np.fft.rfftfreq(nfft, d=1.0 / fs)
+    times = (starts + nfft / 2) / fs
+    return freqs, times, spect
+
+
+def range_time_map(frames: np.ndarray) -> np.ndarray:
+    """Power of each range bin over slow time: ``|frames|²``.
+
+    ``frames`` is the (n_frames, n_bins) complex baseband matrix; the result
+    is the real power map used in the background-subtraction figures
+    (Fig. 8), where static reflectors appear as constant horizontal lines.
+    """
+    frames = np.asarray(frames)
+    if frames.ndim != 2:
+        raise ValueError("range_time_map expects a (n_frames, n_bins) matrix")
+    return np.abs(frames) ** 2
+
+
+def dominant_frequency(x: np.ndarray, fs: float, fmin: float = 0.0) -> float:
+    """Frequency (Hz) of the largest spectral peak of ``x`` above ``fmin``.
+
+    Used by the frequency-domain baseline detector and by tests on the
+    respiration/heartbeat simulators.
+    """
+    freqs, power = power_spectrum(np.asarray(x) - np.mean(x), fs)
+    mask = freqs >= fmin
+    if not mask.any():
+        raise ValueError(f"no spectral bins above fmin={fmin}")
+    sub_f, sub_p = freqs[mask], power[mask]
+    return float(sub_f[int(np.argmax(sub_p))])

@@ -1,0 +1,39 @@
+"""Sliding- and hopping-window iteration over slow-time signals.
+
+BlinkRadar's real-time loop operates on windows of slow-time samples: arc
+fitting over the trailing window, LEVD over a sliding window, and the
+drowsiness classifier over hopping 1-minute windows. These helpers keep the
+indexing in one audited place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["sliding_windows", "hopping_windows", "window_starts"]
+
+
+def window_starts(n: int, window: int, hop: int) -> np.ndarray:
+    """Start indices of full windows of length ``window`` with stride ``hop``."""
+    if window < 1 or hop < 1:
+        raise ValueError("window and hop must be >= 1")
+    if n < window:
+        return np.array([], dtype=int)
+    return np.arange(0, n - window + 1, hop)
+
+
+def sliding_windows(x: np.ndarray, window: int) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(start, view)`` for every full window with stride 1.
+
+    Views are read-only slices of the input (no copy).
+    """
+    yield from hopping_windows(x, window, hop=1)
+
+
+def hopping_windows(x: np.ndarray, window: int, hop: int) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(start, view)`` for every full window with stride ``hop``."""
+    x = np.asarray(x)
+    for start in window_starts(x.shape[0], window, hop):
+        yield int(start), x[start : start + window]

@@ -1,0 +1,31 @@
+"""Evaluation framework: metrics, scenario batteries, parameter sweeps.
+
+- :mod:`repro.eval.metrics` — event matching and the paper's accuracy
+  definitions (Sec. VI-B), consecutive-miss statistics (Fig. 15(a)).
+- :mod:`repro.eval.runner` — simulate → detect → score with seeds; the
+  per-participant session batteries behind the CDFs of Fig. 13.
+- :mod:`repro.eval.sweeps` — the geometry/road/eye-size/window sweeps of
+  Fig. 15–16.
+- :mod:`repro.eval.report` — plain-text tables of the series the paper
+  plots.
+"""
+
+from repro.eval.metrics import (
+    BlinkScore,
+    consecutive_miss_rates,
+    match_events,
+    score_blink_detection,
+)
+from repro.eval.runner import SessionResult, evaluate_drowsy_battery, run_session
+from repro.eval.sweeps import sweep_scenarios
+
+__all__ = [
+    "BlinkScore",
+    "consecutive_miss_rates",
+    "match_events",
+    "score_blink_detection",
+    "SessionResult",
+    "evaluate_drowsy_battery",
+    "run_session",
+    "sweep_scenarios",
+]

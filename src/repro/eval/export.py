@@ -1,0 +1,86 @@
+"""Export experiment series as CSV/JSON artifacts.
+
+Benchmarks print their series for humans; this module writes the same data
+to files so plots and further analysis don't need to re-run simulations.
+CSV for spreadsheets, JSON for programmatic reuse; both formats round-trip
+through :func:`load_series`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["export_series", "export_cdf", "load_series"]
+
+
+def export_series(path: str | Path, series: dict, x_label: str = "x",
+                  y_label: str = "value") -> Path:
+    """Write an (x → y) series to ``path`` (.csv or .json by suffix)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([x_label, y_label])
+            for key, value in series.items():
+                writer.writerow([key, value])
+    elif path.suffix == ".json":
+        payload = {
+            "x_label": x_label,
+            "y_label": y_label,
+            "points": [[_jsonable(k), float(v)] for k, v in series.items()],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r}; use .csv or .json")
+    return path
+
+
+def _jsonable(key):
+    if isinstance(key, (int, float, str, bool)):
+        return key
+    return str(key)
+
+
+def export_cdf(path: str | Path, samples: np.ndarray, label: str = "accuracy") -> Path:
+    """Write a CDF's staircase points (value, probability) to ``path``."""
+    from repro.dsp.stats import empirical_cdf
+
+    values, probs = empirical_cdf(np.asarray(samples, dtype=float))
+    return export_series(
+        path, dict(zip(values.tolist(), probs.tolist())), x_label=label,
+        y_label="cdf",
+    )
+
+
+def load_series(path: str | Path) -> dict:
+    """Read back a series written by :func:`export_series`."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        with path.open() as fh:
+            reader = csv.reader(fh)
+            next(reader)  # header
+            out = {}
+            for row in reader:
+                if len(row) != 2:
+                    raise ValueError(f"malformed series row {row!r} in {path}")
+                key = _parse_scalar(row[0])
+                out[key] = float(row[1])
+            return out
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text())
+        return {(_parse_scalar(k) if isinstance(k, str) else k): v
+                for k, v in payload["points"]}
+    raise ValueError(f"unsupported format {path.suffix!r}")
+
+
+def _parse_scalar(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text

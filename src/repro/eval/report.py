@@ -1,0 +1,53 @@
+"""Plain-text reporting of the series the paper plots.
+
+Benchmarks print through these helpers so every experiment emits the same
+row/series layout the paper's tables and figures use, making paper-vs-
+measured comparison mechanical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_cdf_summary"]
+
+
+def format_table(title: str, header: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width text table."""
+    if not rows:
+        raise ValueError("table needs at least one row")
+    cells = [header] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = [title, "-" * len(title)]
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(title: str, series: dict[object, float], unit: str = "") -> str:
+    """One (x, y) series as aligned rows — a figure's data, printed."""
+    rows = [[k, v] for k, v in series.items()]
+    return format_table(title, ["x", f"value{(' (' + unit + ')') if unit else ''}"], rows)
+
+
+def format_cdf_summary(title: str, samples: np.ndarray) -> str:
+    """Quartiles + extrema of a CDF's samples (Fig. 13 style)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("CDF summary needs samples")
+    rows = [
+        ["min", float(np.min(samples))],
+        ["p25", float(np.percentile(samples, 25))],
+        ["median", float(np.median(samples))],
+        ["p75", float(np.percentile(samples, 75))],
+        ["max", float(np.max(samples))],
+    ]
+    return format_table(title, ["stat", "value"], rows)

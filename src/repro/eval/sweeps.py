@@ -1,0 +1,134 @@
+"""Parameter sweeps behind Fig. 15–16.
+
+Each sweep varies one factor of a base scenario and reports the mean
+blink-detection accuracy at each level, exactly the series the paper
+plots: distance (Fig. 15(b)), elevation (15(c)), azimuth (15(d)), glasses
+(16(a)), road-type groups (16(b)), eye size (16(c)) and the drowsiness
+detection window (16(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.eval.runner import run_session
+from repro.rf.geometry import SensorPose
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "sweep_scenarios",
+    "distance_sweep",
+    "elevation_sweep",
+    "azimuth_sweep",
+    "glasses_sweep",
+    "road_group_sweep",
+    "eye_size_sweep",
+]
+
+
+def sweep_scenarios(
+    base: Scenario,
+    variants: dict[object, Callable[[Scenario], Scenario]],
+    seeds: list[int],
+) -> dict[object, float]:
+    """Run ``base`` modified by each variant over the seeds.
+
+    Returns mean blink-detection accuracy per variant key, preserving the
+    insertion order of ``variants``.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: dict[object, float] = {}
+    for key, modify in variants.items():
+        scenario = modify(base)
+        accs = [run_session(scenario, seed).accuracy for seed in seeds]
+        results[key] = float(np.mean(accs))
+    return results
+
+
+def _with_pose(base: Scenario, **pose_kwargs) -> Scenario:
+    pose = SensorPose(
+        distance_m=pose_kwargs.get("distance_m", base.pose.distance_m),
+        azimuth_deg=pose_kwargs.get("azimuth_deg", base.pose.azimuth_deg),
+        elevation_deg=pose_kwargs.get("elevation_deg", base.pose.elevation_deg),
+    )
+    return replace(base, pose=pose)
+
+
+def distance_sweep(
+    base: Scenario, seeds: list[int], distances_m: tuple[float, ...] = (0.2, 0.4, 0.8)
+) -> dict[float, float]:
+    """Fig. 15(b): accuracy vs radar-to-eye distance."""
+    return sweep_scenarios(
+        base,
+        {d: (lambda sc, d=d: _with_pose(sc, distance_m=d)) for d in distances_m},
+        seeds,
+    )
+
+
+def elevation_sweep(
+    base: Scenario, seeds: list[int], elevations_deg: tuple[float, ...] = (0, 15, 30, 45, 60)
+) -> dict[float, float]:
+    """Fig. 15(c): accuracy vs elevation angle."""
+    return sweep_scenarios(
+        base,
+        {e: (lambda sc, e=e: _with_pose(sc, elevation_deg=e)) for e in elevations_deg},
+        seeds,
+    )
+
+
+def azimuth_sweep(
+    base: Scenario, seeds: list[int], azimuths_deg: tuple[float, ...] = (0, 15, 30, 45, 60)
+) -> dict[float, float]:
+    """Fig. 15(d): accuracy vs azimuth angle."""
+    return sweep_scenarios(
+        base,
+        {a: (lambda sc, a=a: _with_pose(sc, azimuth_deg=a)) for a in azimuths_deg},
+        seeds,
+    )
+
+
+def glasses_sweep(
+    base: Scenario, seeds: list[int], kinds: tuple[str, ...] = ("none", "myopia", "sunglasses")
+) -> dict[str, float]:
+    """Fig. 16(a): accuracy vs eyewear."""
+    def with_glasses(sc: Scenario, kind: str) -> Scenario:
+        return replace(sc, participant=replace(sc.participant, glasses=kind))
+
+    return sweep_scenarios(
+        base, {k: (lambda sc, k=k: with_glasses(sc, k)) for k in kinds}, seeds
+    )
+
+
+def road_group_sweep(
+    base: Scenario, seeds: list[int], groups: dict[int, list[str]]
+) -> dict[int, float]:
+    """Fig. 16(b): accuracy per road-type group (mean over the group)."""
+    results: dict[int, float] = {}
+    for group, roads in groups.items():
+        accs = []
+        for road in roads:
+            scenario = replace(base, road=road)
+            accs.extend(run_session(scenario, seed).accuracy for seed in seeds)
+        results[group] = float(np.mean(accs))
+    return results
+
+
+def eye_size_sweep(
+    base: Scenario,
+    seeds: list[int],
+    sizes: dict[str, tuple[float, float]],
+) -> dict[str, float]:
+    """Fig. 16(c): accuracy vs eye opening (width, height) in metres."""
+    from repro.physio.driver import EyeGeometry
+
+    def with_eye(sc: Scenario, wh: tuple[float, float]) -> Scenario:
+        eye = EyeGeometry(width_m=wh[0], height_m=wh[1])
+        return replace(sc, participant=replace(sc.participant, eye=eye))
+
+    return sweep_scenarios(
+        base, {k: (lambda sc, wh=wh: with_eye(sc, wh)) for k, wh in sizes.items()}, seeds
+    )

@@ -1,0 +1,34 @@
+"""Emulated device stack: IR-UWB transceiver ↔ SPI ↔ host.
+
+The paper's platform is a system-on-chip impulse radio "connected to a
+Raspberry Pi via Serial Peripheral Interface (SPI)" (Sec. V). This package
+emulates that stack end to end so the rest of the repository can exercise
+realistic device I/O:
+
+- :mod:`repro.hardware.registers` — the transceiver's register map.
+- :mod:`repro.hardware.spi` — byte-level SPI bus with command framing and
+  an error-detecting checksum.
+- :mod:`repro.hardware.device` — :class:`~repro.hardware.device.UwbRadarDevice`,
+  a register-programmable emulated chip with a frame FIFO, fed by the RF
+  simulator.
+- :mod:`repro.hardware.driver` — :class:`~repro.hardware.driver.XepDriver`,
+  the host-side driver that configures the chip over SPI and streams
+  frames, plus :class:`~repro.hardware.driver.FrameStream` for real-time
+  iteration.
+"""
+
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.driver import FrameStream, XepDriver
+from repro.hardware.registers import Register, RegisterFile, REGISTERS
+from repro.hardware.spi import SpiBus, SpiError
+
+__all__ = [
+    "UwbRadarDevice",
+    "FrameStream",
+    "XepDriver",
+    "Register",
+    "RegisterFile",
+    "REGISTERS",
+    "SpiBus",
+    "SpiError",
+]

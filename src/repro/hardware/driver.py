@@ -1,0 +1,115 @@
+"""Host-side driver for the emulated transceiver.
+
+:class:`XepDriver` is what runs on the paper's Raspberry Pi: it owns an
+SPI bus, probes and configures the chip, and turns FIFO bytes back into
+complex frames. :class:`FrameStream` pairs device ticks with driver reads
+to emulate the live acquisition loop feeding the detector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.registers import REGISTERS
+from repro.hardware.spi import SpiBus, SpiError
+
+__all__ = ["XepDriver", "FrameStream"]
+
+_EXPECTED_CHIP_ID = 0xA4
+
+
+class XepDriver:
+    """Configure and read the radar over SPI."""
+
+    def __init__(self, bus: SpiBus, n_bins: int) -> None:
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.bus = bus
+        self.n_bins = n_bins
+        self._frame_bytes = n_bins * 4
+
+    # --------------------------------------------------------------- plumbing
+    def _addr(self, name: str) -> int:
+        return REGISTERS[name].address
+
+    def probe(self) -> int:
+        """Verify the chip answers with the expected ID; returns version."""
+        chip_id = self.bus.read_register(self._addr("CHIP_ID"))
+        if chip_id != _EXPECTED_CHIP_ID:
+            raise SpiError(f"unexpected chip id {chip_id:#04x}")
+        return self.bus.read_register(self._addr("VERSION"))
+
+    def soft_reset(self) -> None:
+        """Reset the chip to its power-on state."""
+        self.bus.write_register(self._addr("SOFT_RESET"), 0x01)
+
+    def configure(self, frame_rate_div: int = 4, tx_power: int = 0xFF) -> None:
+        """Program frame rate and TX power (div 4 = 25 FPS, the paper's)."""
+        if not 1 <= frame_rate_div <= 0xFF:
+            raise ValueError(f"frame_rate_div must be 1..255, got {frame_rate_div}")
+        if not 1 <= tx_power <= 0xFF:
+            raise ValueError(f"tx_power must be 1..255, got {tx_power}")
+        self.bus.write_register(self._addr("FRAME_RATE_DIV"), frame_rate_div)
+        self.bus.write_register(self._addr("TX_POWER"), tx_power)
+
+    def start(self) -> None:
+        """Start the sampler (TRX_CTRL bit 0)."""
+        self.bus.write_register(self._addr("TRX_CTRL"), 0x01)
+
+    def stop(self) -> None:
+        """Stop the sampler."""
+        self.bus.write_register(self._addr("TRX_CTRL"), 0x00)
+
+    # ------------------------------------------------------------------ reads
+    def status(self) -> tuple[bool, bool]:
+        """(frame_ready, fifo_overflow)."""
+        status = self.bus.read_register(self._addr("STATUS"))
+        return bool(status & 0x01), bool(status & 0x02)
+
+    def fifo_count(self) -> int:
+        """Bytes currently in the device FIFO."""
+        low = self.bus.read_register(self._addr("FIFO_COUNT_L"))
+        high = self.bus.read_register(self._addr("FIFO_COUNT_H"))
+        return low | (high << 8)
+
+    def read_frame(self, device: UwbRadarDevice) -> np.ndarray | None:
+        """Pop one frame from the FIFO, or None when none is complete.
+
+        Decoding needs the device's quantiser parameters; in a real system
+        those are datasheet constants, here we ask the device object.
+        """
+        if self.fifo_count() < self._frame_bytes:
+            return None
+        payload = self.bus.burst_read(self._frame_bytes)
+        return device.decode_frame(payload)
+
+
+class FrameStream:
+    """Live acquisition loop: tick the device, read each frame.
+
+    Iterating yields ``(timestamp_s, frame)`` pairs until the device's
+    frame source is exhausted or ``n_frames`` have been delivered.
+    """
+
+    def __init__(self, driver: XepDriver, device: UwbRadarDevice, n_frames: int | None = None):
+        if n_frames is not None and n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        self.driver = driver
+        self.device = device
+        self.n_frames = n_frames
+
+    def __iter__(self) -> Iterator[tuple[float, np.ndarray]]:
+        delivered = 0
+        while self.n_frames is None or delivered < self.n_frames:
+            produced = self.device.tick()
+            frame = self.driver.read_frame(self.device)
+            if frame is None:
+                if not produced:
+                    return  # source exhausted and FIFO drained
+                continue
+            timestamp = delivered * self.device.frame_period_s
+            delivered += 1
+            yield timestamp, frame

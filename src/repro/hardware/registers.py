@@ -1,0 +1,109 @@
+"""Register map of the emulated IR-UWB transceiver.
+
+Modelled after X4-class impulse-radio SoCs: an 8-bit address space of 8-bit
+registers controlling the RF front-end and a frame FIFO exposed through a
+data port. Only the registers the BlinkRadar stack needs are implemented;
+the map is easy to extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Register", "REGISTERS", "RegisterFile"]
+
+
+@dataclass(frozen=True)
+class Register:
+    """One 8-bit register.
+
+    Attributes
+    ----------
+    name / address:
+        Identifier and 8-bit address.
+    reset_value:
+        Value after power-on or soft reset.
+    writable:
+        Host-writable; read-only registers reject writes with an error.
+    """
+
+    name: str
+    address: int
+    reset_value: int = 0
+    writable: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 0xFF:
+            raise ValueError(f"address {self.address:#x} outside 8-bit space")
+        if not 0 <= self.reset_value <= 0xFF:
+            raise ValueError(f"reset value {self.reset_value:#x} outside 8-bit range")
+
+
+#: The chip's registers. CHIP_ID reads a fixed signature; FRAME_RATE_DIV
+#: divides the 100 Hz base clock (4 → 25 FPS, the paper's 40 ms period);
+#: TX_POWER is a 0–255 code scaling the pulse amplitude; DAC_STEP selects
+#: the fast-time bin decimation; TRX_CTRL bit0 starts/stops the sampler;
+#: STATUS bit0 = frame ready, bit1 = FIFO overflow; FIFO_COUNT_L/H expose
+#: the byte count and FIFO_DATA pops bytes.
+_REGISTER_LIST = [
+    Register("CHIP_ID", 0x00, reset_value=0xA4, writable=False),
+    Register("VERSION", 0x01, reset_value=0x12, writable=False),
+    Register("TRX_CTRL", 0x10, reset_value=0x00),
+    Register("FRAME_RATE_DIV", 0x11, reset_value=4),
+    Register("TX_POWER", 0x12, reset_value=0xFF),
+    Register("DAC_STEP", 0x13, reset_value=1),
+    Register("STATUS", 0x20, reset_value=0x00, writable=False),
+    Register("FIFO_COUNT_L", 0x21, reset_value=0x00, writable=False),
+    Register("FIFO_COUNT_H", 0x22, reset_value=0x00, writable=False),
+    Register("FIFO_DATA", 0x23, reset_value=0x00, writable=False),
+    Register("SOFT_RESET", 0x30, reset_value=0x00),
+]
+
+REGISTERS: dict[str, Register] = {r.name: r for r in _REGISTER_LIST}
+_BY_ADDRESS: dict[int, Register] = {r.address: r for r in _REGISTER_LIST}
+
+
+class RegisterFile:
+    """Mutable register state with access checking."""
+
+    def __init__(self) -> None:
+        self._values: dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore every register to its reset value."""
+        self._values = {r.address: r.reset_value for r in REGISTERS.values()}
+
+    @staticmethod
+    def lookup(address: int) -> Register:
+        """Register at ``address``; raises KeyError for unmapped addresses."""
+        try:
+            return _BY_ADDRESS[address]
+        except KeyError:
+            raise KeyError(f"no register at address {address:#04x}") from None
+
+    def read(self, address: int) -> int:
+        """Read a register by address."""
+        self.lookup(address)
+        return self._values[address]
+
+    def write(self, address: int, value: int, force: bool = False) -> None:
+        """Write a register by address.
+
+        ``force`` lets the device itself update read-only registers
+        (STATUS, FIFO counts); host writes must leave it False.
+        """
+        register = self.lookup(address)
+        if not register.writable and not force:
+            raise PermissionError(f"register {register.name} is read-only")
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"value {value} outside 8-bit range")
+        self._values[address] = value
+
+    def read_name(self, name: str) -> int:
+        """Read a register by name."""
+        return self.read(REGISTERS[name].address)
+
+    def write_name(self, name: str, value: int, force: bool = False) -> None:
+        """Write a register by name."""
+        self.write(REGISTERS[name].address, value, force=force)

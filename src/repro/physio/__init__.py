@@ -1,0 +1,40 @@
+"""Driver physiology models.
+
+Everything the radar "sees" on the human side of the cabin is produced
+here, with magnitudes taken from the literature the paper cites:
+
+- :mod:`repro.physio.blink` — the sparse, aperiodic blink point process and
+  the eyelid closure kinematics (Caffier et al.: typical blink < 400 ms,
+  minimum ~75 ms; drowsy blinks exceed 400 ms; Sec. II-A).
+- :mod:`repro.physio.respiration` — chest wall displacement (mm-scale,
+  ~0.2–0.3 Hz) plus its small coupling into head motion.
+- :mod:`repro.physio.cardiac` — heart-rate process and the ~1 mm
+  ballistocardiographic (BCG) head displacement synchronised with the
+  heartbeat (Sec. IV-D "Biosignal noise").
+- :mod:`repro.physio.body` — voluntary/postural movement: sparse cm-scale
+  posture shifts and a continuous sub-millimetre micro-motion.
+- :mod:`repro.physio.driver` — :class:`~repro.physio.driver.DriverModel`,
+  which composes all of the above from a participant profile into the
+  displacement/closure tracks the channel consumes.
+"""
+
+from repro.physio.blink import BlinkEvent, BlinkKinematics, BlinkProcess, BlinkStatistics
+from repro.physio.body import MicroMotion, PostureShiftProcess
+from repro.physio.cardiac import CardiacModel
+from repro.physio.driver import DriverModel, DriverMotion, EyeGeometry, ParticipantProfile
+from repro.physio.respiration import RespirationModel
+
+__all__ = [
+    "BlinkEvent",
+    "BlinkKinematics",
+    "BlinkProcess",
+    "BlinkStatistics",
+    "MicroMotion",
+    "PostureShiftProcess",
+    "CardiacModel",
+    "DriverModel",
+    "DriverMotion",
+    "EyeGeometry",
+    "ParticipantProfile",
+    "RespirationModel",
+]

@@ -1,0 +1,211 @@
+"""Eye-blink point process and eyelid kinematics.
+
+Blinking is the signal BlinkRadar hunts: *subtle* (≲1 mm effective
+displacement, small reflecting area), *sparse* and *aperiodic* (inter-blink
+intervals from hundreds of ms to tens of seconds), which is exactly why the
+paper rules out frequency-domain detection (Sec. I).
+
+Two pieces:
+
+- :class:`BlinkProcess` draws blink onset times from a renewal process with
+  log-normal inter-blink intervals and blink durations from the awake /
+  drowsy statistics of Sec. II (awake: mean < 400 ms, min 75 ms; drowsy:
+  > 400 ms and more frequent — Table I shows ~20/min awake vs ~26/min
+  drowsy).
+- :class:`BlinkKinematics` turns each event into an eyelid closure profile
+  c(t) ∈ [0, 1]: a fast close (≈1/3 of the blink), a closed plateau, and a
+  slower reopen (≈1/2 of the blink), the shape eyelid-tracking studies
+  report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlinkEvent", "BlinkStatistics", "BlinkProcess", "BlinkKinematics"]
+
+#: Physiological floor on blink duration (Caffier et al., cited in Sec. II-A).
+MIN_BLINK_DURATION_S = 0.075
+
+
+@dataclass(frozen=True)
+class BlinkEvent:
+    """One blink: onset time and total duration (both seconds)."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"blink start must be >= 0, got {self.start_s}")
+        if self.duration_s < MIN_BLINK_DURATION_S:
+            raise ValueError(
+                f"blink duration {self.duration_s} s below physiological minimum "
+                f"{MIN_BLINK_DURATION_S} s"
+            )
+
+    @property
+    def end_s(self) -> float:
+        """Time at which the eye is fully reopened."""
+        return self.start_s + self.duration_s
+
+    @property
+    def center_s(self) -> float:
+        """Mid-blink time, used for event matching in evaluation."""
+        return self.start_s + self.duration_s / 2.0
+
+
+@dataclass(frozen=True)
+class BlinkStatistics:
+    """Statistical parameters of a driver state's blinking.
+
+    Attributes
+    ----------
+    rate_per_min:
+        Mean blink rate (Table I: ~20/min awake, ~26/min drowsy).
+    interval_cv:
+        Coefficient of variation of the log-normal inter-blink interval.
+        Blinking is aperiodic (cv well above what any spectral line could
+        survive) but one-minute counts are fairly stable person-by-person
+        — Table I's rows vary by ±2 — so the cv sits near 0.5–0.65.
+    duration_mean_s / duration_sigma_s:
+        Mean and std of the blink duration (truncated normal, floored at
+        the physiological minimum). Awake ≈ 0.2–0.3 s; drowsy > 0.4 s.
+    """
+
+    rate_per_min: float
+    interval_cv: float
+    duration_mean_s: float
+    duration_sigma_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_min <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_per_min}")
+        if self.interval_cv <= 0:
+            raise ValueError(f"interval_cv must be positive, got {self.interval_cv}")
+        if self.duration_mean_s < MIN_BLINK_DURATION_S:
+            raise ValueError("mean blink duration below physiological minimum")
+        if self.duration_sigma_s < 0:
+            raise ValueError("duration sigma must be >= 0")
+
+    @staticmethod
+    def awake(rate_per_min: float = 19.0) -> "BlinkStatistics":
+        """Typical alert-driver statistics."""
+        return BlinkStatistics(
+            rate_per_min=rate_per_min,
+            interval_cv=0.55,
+            duration_mean_s=0.25,
+            duration_sigma_s=0.06,
+        )
+
+    @staticmethod
+    def drowsy(rate_per_min: float = 26.0) -> "BlinkStatistics":
+        """Typical drowsy-driver statistics: faster and longer blinks."""
+        return BlinkStatistics(
+            rate_per_min=rate_per_min,
+            interval_cv=0.65,
+            duration_mean_s=0.55,
+            duration_sigma_s=0.15,
+        )
+
+
+@dataclass(frozen=True)
+class BlinkProcess:
+    """Renewal process generating blink events over a time horizon."""
+
+    stats: BlinkStatistics
+
+    def sample_events(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> list[BlinkEvent]:
+        """Draw a blink event sequence covering ``[0, duration_s)``.
+
+        Inter-blink intervals (onset to onset) are log-normal with mean
+        ``60 / rate_per_min`` and the configured coefficient of variation;
+        successive blinks never overlap (the next onset is pushed past the
+        previous blink's end, as eyelids cannot re-blink mid-blink).
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        mean_interval = 60.0 / self.stats.rate_per_min
+        # Log-normal parameterisation from mean m and cv:
+        #   sigma² = ln(1 + cv²),  mu = ln m − sigma²/2.
+        sigma2 = np.log1p(self.stats.interval_cv**2)
+        mu = np.log(mean_interval) - sigma2 / 2.0
+        events: list[BlinkEvent] = []
+        # First onset: uniform over one mean interval so traces don't all
+        # start with a blink at t=0.
+        t = float(rng.uniform(0.2, mean_interval))
+        while t < duration_s:
+            duration = float(
+                rng.normal(self.stats.duration_mean_s, self.stats.duration_sigma_s)
+            )
+            duration = max(duration, MIN_BLINK_DURATION_S)
+            if t + duration > duration_s:
+                break
+            events.append(BlinkEvent(start_s=t, duration_s=duration))
+            interval = float(rng.lognormal(mu, np.sqrt(sigma2)))
+            # Enforce a refractory gap after reopening.
+            t = max(t + interval, t + duration + 0.1)
+        return events
+
+
+@dataclass(frozen=True)
+class BlinkKinematics:
+    """Eyelid closure profile c(t) for a blink event.
+
+    The profile rises 0→1 over the closing phase, holds at 1, and falls
+    1→0 over the (slower) reopening phase, using raised-cosine ramps. The
+    phase fractions default to close 30 %, hold 20 %, reopen 50 % of the
+    blink duration.
+    """
+
+    close_fraction: float = 0.30
+    hold_fraction: float = 0.20
+
+    def __post_init__(self) -> None:
+        if not 0 < self.close_fraction < 1 or not 0 <= self.hold_fraction < 1:
+            raise ValueError("phase fractions must lie in (0, 1)")
+        if self.close_fraction + self.hold_fraction >= 1:
+            raise ValueError("close + hold fractions must leave room for reopening")
+
+    @property
+    def reopen_fraction(self) -> float:
+        """Fraction of the blink spent reopening."""
+        return 1.0 - self.close_fraction - self.hold_fraction
+
+    def closure_at(self, t_s: np.ndarray, event: BlinkEvent) -> np.ndarray:
+        """Closure fraction c(t) of ``event`` evaluated at times ``t_s``."""
+        t = np.asarray(t_s, dtype=float)
+        rel = (t - event.start_s) / event.duration_s
+        c = np.zeros_like(rel)
+        closing = (rel >= 0) & (rel < self.close_fraction)
+        c[closing] = 0.5 * (1 - np.cos(np.pi * rel[closing] / self.close_fraction))
+        holding = (rel >= self.close_fraction) & (
+            rel < self.close_fraction + self.hold_fraction
+        )
+        c[holding] = 1.0
+        reopening = (rel >= self.close_fraction + self.hold_fraction) & (rel <= 1.0)
+        rel_open = (rel[reopening] - self.close_fraction - self.hold_fraction) / (
+            self.reopen_fraction
+        )
+        c[reopening] = 0.5 * (1 + np.cos(np.pi * rel_open))
+        return c
+
+    def closure_track(
+        self, events: list[BlinkEvent], n_frames: int, frame_rate_hz: float
+    ) -> np.ndarray:
+        """Closure fraction sampled on the radar's slow-time grid.
+
+        Overlap cannot occur (the process enforces a refractory gap), so
+        events are simply summed and clipped defensively.
+        """
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        t = np.arange(n_frames) / frame_rate_hz
+        track = np.zeros(n_frames)
+        for event in events:
+            track += self.closure_at(t, event)
+        return np.clip(track, 0.0, 1.0)

@@ -1,0 +1,117 @@
+"""Voluntary body motion: posture shifts and continuous micro-motion.
+
+Two processes, matching the paper's interference taxonomy (Sec. IV-D
+"self-interference" and Sec. IV-E "significant body movement"):
+
+- :class:`PostureShiftProcess` — sparse, centimetre-scale repositioning
+  (shifting in the seat, leaning). These are large enough that BlinkRadar
+  "restarts the whole eye-blink detection process when a significant body
+  movement happens"; the simulator reports their times so tests can verify
+  the restart logic.
+- :class:`MicroMotion` — an Ornstein–Uhlenbeck tremor in the 0.1 mm range
+  that keeps the head from ever being perfectly still.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PostureShiftProcess", "MicroMotion"]
+
+
+@dataclass(frozen=True)
+class PostureShiftProcess:
+    """Sparse cm-scale posture changes.
+
+    Attributes
+    ----------
+    mean_interval_s:
+        Mean time between shifts (Poisson process). Drivers resettle every
+        half-minute to few minutes.
+    amplitude_m:
+        Typical displacement magnitude of a shift (std of a folded normal;
+        sign random).
+    transition_s:
+        Duration of the smooth (raised-cosine) transition to the new
+        position.
+    """
+
+    mean_interval_s: float = 45.0
+    amplitude_m: float = 1.5e-2
+    transition_s: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_s <= 0 or self.amplitude_m <= 0 or self.transition_s <= 0:
+            raise ValueError("all posture-shift parameters must be positive")
+
+    def sample_shifts(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> list[tuple[float, float]]:
+        """Draw ``(time_s, displacement_m)`` shift events over the horizon."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        shifts: list[tuple[float, float]] = []
+        t = float(rng.exponential(self.mean_interval_s))
+        while t < duration_s:
+            magnitude = abs(float(rng.normal(0.0, self.amplitude_m)))
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            shifts.append((t, sign * magnitude))
+            t += float(rng.exponential(self.mean_interval_s))
+        return shifts
+
+    def displacement(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, list[float]]:
+        """Cumulative posture displacement (m) and the shift times.
+
+        Returns ``(track, shift_times_s)``; the track is a sum of smooth
+        steps, one per shift.
+        """
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        duration = n_frames / frame_rate_hz
+        t = np.arange(n_frames) / frame_rate_hz
+        track = np.zeros(n_frames)
+        shifts = self.sample_shifts(duration, rng)
+        for when, delta in shifts:
+            rel = (t - when) / self.transition_s
+            step = np.where(rel <= 0, 0.0, np.where(rel >= 1, 1.0, 0.5 * (1 - np.cos(np.pi * np.clip(rel, 0, 1)))))
+            track += delta * step
+        return track, [when for when, _ in shifts]
+
+
+@dataclass(frozen=True)
+class MicroMotion:
+    """Ornstein–Uhlenbeck head tremor.
+
+    Mean-reverting Gaussian process with stationary std ``sigma_m`` and
+    correlation time ``tau_s``; the ever-present sub-millimetre jitter of a
+    seated human.
+    """
+
+    sigma_m: float = 1.2e-4
+    tau_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sigma_m < 0 or self.tau_s <= 0:
+            raise ValueError("sigma must be >= 0 and tau positive")
+
+    def displacement(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Micro-motion displacement track (m) via exact OU discretisation."""
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        if self.sigma_m == 0:
+            return np.zeros(n_frames)
+        dt = 1.0 / frame_rate_hz
+        decay = np.exp(-dt / self.tau_s)
+        innovation_sigma = self.sigma_m * np.sqrt(1.0 - decay**2)
+        track = np.empty(n_frames)
+        track[0] = rng.normal(0.0, self.sigma_m)
+        noise = rng.normal(0.0, innovation_sigma, size=n_frames - 1)
+        for k in range(1, n_frames):
+            track[k] = decay * track[k - 1] + noise[k - 1]
+        return track

@@ -1,0 +1,87 @@
+"""Cardiac activity and ballistocardiographic head motion.
+
+Sec. IV-D: "there is an approximate 1 mm head movement synchronized with
+the heartbeat due to blood pumping, which is called Ballistic Cardiography
+(BCG). This involuntary movement is aliased with blinking information."
+
+The BCG head displacement is modelled as a per-beat pulse (sharp systolic
+stroke plus a smaller rebound) repeated at a wandering heart rate. Crucially
+for BlinkRadar, this motion is a nearly pure *displacement* of the head —
+it rotates the eye bin's I/Q phasor along an arc without changing its
+amplitude (Fig. 10(a)), which is exactly what the arc-fitting viewing
+position exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CardiacModel"]
+
+
+@dataclass(frozen=True)
+class CardiacModel:
+    """Heartbeat process and BCG head displacement.
+
+    Attributes
+    ----------
+    rate_hz:
+        Mean heart rate; 1.15 Hz = 69 bpm.
+    bcg_amplitude_m:
+        Peak head displacement per beat (~1 mm per the paper).
+    rate_jitter:
+        Beat-to-beat fractional variability of the RR interval.
+    """
+
+    rate_hz: float = 1.15
+    bcg_amplitude_m: float = 1.0e-3
+    rate_jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0 or self.bcg_amplitude_m <= 0:
+            raise ValueError("rate and amplitude must be positive")
+        if self.rate_jitter < 0:
+            raise ValueError("rate_jitter must be >= 0")
+
+    def beat_times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Beat onset times (s) over ``[0, duration_s)`` with HRV jitter."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        mean_rr = 1.0 / self.rate_hz
+        times = []
+        t = float(rng.uniform(0, mean_rr))
+        while t < duration_s:
+            times.append(t)
+            rr = mean_rr * float(np.exp(rng.normal(0.0, self.rate_jitter)))
+            t += max(rr, 0.3)  # hard floor: 200 bpm
+        return np.array(times)
+
+    @staticmethod
+    def _beat_pulse(rel: np.ndarray) -> np.ndarray:
+        """Normalised BCG displacement of one beat vs relative time in beats.
+
+        A positive systolic lobe (~120 ms) followed by a smaller negative
+        rebound, zero elsewhere; peak amplitude 1.
+        """
+        pulse = np.zeros_like(rel)
+        stroke = (rel >= 0) & (rel < 0.18)
+        pulse[stroke] = np.sin(np.pi * rel[stroke] / 0.18) ** 2
+        rebound = (rel >= 0.18) & (rel < 0.45)
+        pulse[rebound] = -0.35 * np.sin(np.pi * (rel[rebound] - 0.18) / 0.27) ** 2
+        return pulse
+
+    def head_displacement(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """BCG head displacement track (m) on the slow-time grid."""
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        duration = n_frames / frame_rate_hz
+        t = np.arange(n_frames) / frame_rate_hz
+        track = np.zeros(n_frames)
+        for beat in self.beat_times(duration, rng):
+            rel = (t - beat) * self.rate_hz
+            track += self._beat_pulse(rel)
+        return self.bcg_amplitude_m * track

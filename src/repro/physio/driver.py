@@ -1,0 +1,233 @@
+"""Driver composition: participant profiles and the full motion bundle.
+
+:class:`DriverModel` assembles every physiological process into the
+displacement/closure tracks that the radar channel needs. The split matters
+for fidelity:
+
+- the **eye path** sees head motion (BCG + respiration coupling + micro
+  tremor + posture) *plus* the blink: an amplitude modulation (eyelid skin
+  vs eyeball reflectivity) and a sub-millimetre path-length change (the
+  eyelid surface sits slightly proud of the cornea);
+- the **face path** (forehead/cheeks, same range bin neighbourhood) sees
+  head motion only — it is the persistent "harmful" disturbance that makes
+  the eye bin's I/Q trajectory arc-shaped even between blinks (Sec. IV-D);
+- the **torso path** sees respiration and posture, a few bins further out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.physio.blink import BlinkEvent, BlinkKinematics, BlinkProcess, BlinkStatistics
+from repro.physio.body import MicroMotion, PostureShiftProcess
+from repro.physio.cardiac import CardiacModel
+from repro.physio.respiration import RespirationModel
+
+__all__ = ["EyeGeometry", "ParticipantProfile", "DriverMotion", "DriverModel"]
+
+#: Effective radial travel of the reflecting surface during a full eyelid
+#: closure (eyelid + lash line sit ~1 mm proud of the tear film).
+EYELID_PROTRUSION_M = 0.9e-3
+
+
+@dataclass(frozen=True)
+class EyeGeometry:
+    """Exposed eye-opening geometry.
+
+    Attributes
+    ----------
+    width_m / height_m:
+        Palpebral fissure dimensions. The paper's smallest participant is
+        3.5 × 0.8 cm (Fig. 16(c)); a typical adult is ~4.2 × 1.1 cm.
+    """
+
+    width_m: float = 0.042
+    height_m: float = 0.011
+
+    def __post_init__(self) -> None:
+        if not 0.01 <= self.width_m <= 0.08:
+            raise ValueError(f"eye width {self.width_m} m outside plausible range")
+        if not 0.004 <= self.height_m <= 0.03:
+            raise ValueError(f"eye height {self.height_m} m outside plausible range")
+
+    @property
+    def area_m2(self) -> float:
+        """Exposed eye area (both eyes): elliptical aperture × 2."""
+        return 2.0 * np.pi * (self.width_m / 2.0) * (self.height_m / 2.0)
+
+    @property
+    def rcs_m2(self) -> float:
+        """Effective radar cross-section of the blink-modulated region.
+
+        A blink does not modulate just the corneal aperture: the eyelids,
+        lash line and periorbital skin all move and change reflectivity, so
+        the effective cross-section is of order the palpebral area itself
+        (shape factor ~1). This still leaves the eye return 20–30 dB below
+        the torso, matching the paper's "magnitude of eye reflections may
+        be weaker than reflections from other surrounding objects".
+        """
+        return 1.0 * self.area_m2
+
+
+@dataclass(frozen=True)
+class ParticipantProfile:
+    """Everything participant-specific the simulator needs.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("P01" ...).
+    eye:
+        Eye-opening geometry (drives RCS, Fig. 16(c)).
+    glasses:
+        ``"none"``, ``"myopia"`` or ``"sunglasses"`` (Fig. 16(a)).
+    awake / drowsy:
+        Blink statistics in each state (Table I spread comes from
+        participant-to-participant variation of these).
+    respiration / cardiac:
+        Vital-sign model parameters.
+    restlessness:
+        Scale on the posture-shift rate (1 = average).
+    """
+
+    name: str
+    eye: EyeGeometry = field(default_factory=EyeGeometry)
+    glasses: str = "none"
+    awake: BlinkStatistics = field(default_factory=BlinkStatistics.awake)
+    drowsy: BlinkStatistics = field(default_factory=BlinkStatistics.drowsy)
+    respiration: RespirationModel = field(default_factory=RespirationModel)
+    cardiac: CardiacModel = field(default_factory=CardiacModel)
+    restlessness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.glasses not in ("none", "myopia", "sunglasses"):
+            raise ValueError(f"unknown glasses type {self.glasses!r}")
+        if self.restlessness <= 0:
+            raise ValueError("restlessness must be positive")
+
+    def blink_stats(self, state: str) -> BlinkStatistics:
+        """Blink statistics for ``state`` ('awake' or 'drowsy')."""
+        if state == "awake":
+            return self.awake
+        if state == "drowsy":
+            return self.drowsy
+        raise ValueError(f"unknown driver state {state!r}; expected 'awake' or 'drowsy'")
+
+
+@dataclass(frozen=True)
+class DriverMotion:
+    """Per-frame motion bundle produced by :class:`DriverModel`.
+
+    All displacement tracks are radial metres (positive = away from the
+    radar) on the slow-time grid.
+
+    Attributes
+    ----------
+    eyelid_closure:
+        c(t) ∈ [0, 1]; 1 = fully closed.
+    blink_reflectivity_weight:
+        Per-event-weighted closure track Σ_e v_e · c_e(t): each blink's
+        radar-visible strength varies (gaze direction, partial blinks,
+        squint), modelled by a log-normal per-event factor v_e. This is the
+        track that modulates the eye path's amplitude; the kinematic
+        ``eyelid_closure`` drives displacement and ground truth.
+    head_displacement:
+        Head/face radial motion: BCG + respiration coupling + micro tremor
+        + posture.
+    eye_extra_displacement:
+        Additional radial motion of the eye reflection due to the eyelid
+        travelling over the eyeball (``−EYELID_PROTRUSION_M × c(t)``:
+        closing brings the reflecting surface slightly closer).
+    chest_displacement:
+        Torso radial motion: respiration + posture.
+    blink_events:
+        Ground-truth blink events.
+    posture_shift_times_s:
+        Times of the large posture shifts (for restart-logic tests).
+    """
+
+    eyelid_closure: np.ndarray
+    blink_reflectivity_weight: np.ndarray
+    head_displacement: np.ndarray
+    eye_extra_displacement: np.ndarray
+    chest_displacement: np.ndarray
+    blink_events: list[BlinkEvent]
+    posture_shift_times_s: list[float]
+
+    @property
+    def n_frames(self) -> int:
+        """Number of slow-time frames covered by the tracks."""
+        return len(self.eyelid_closure)
+
+
+@dataclass(frozen=True)
+class DriverModel:
+    """Compose all physiological processes for one participant."""
+
+    profile: ParticipantProfile
+    kinematics: BlinkKinematics = field(default_factory=BlinkKinematics)
+    micro: MicroMotion = field(default_factory=MicroMotion)
+    #: Log-normal sigma of the per-blink radar-visible strength factor.
+    blink_gain_sigma: float = 0.35
+
+    def posture_process(self) -> PostureShiftProcess:
+        """Posture-shift process scaled by the participant's restlessness."""
+        base = PostureShiftProcess()
+        return PostureShiftProcess(
+            mean_interval_s=base.mean_interval_s / self.profile.restlessness,
+            amplitude_m=base.amplitude_m,
+            transition_s=base.transition_s,
+        )
+
+    def generate(
+        self,
+        n_frames: int,
+        frame_rate_hz: float,
+        state: str,
+        rng: np.random.Generator,
+        allow_posture_shifts: bool = True,
+    ) -> DriverMotion:
+        """Draw one realisation of the driver's motion over ``n_frames``.
+
+        ``state`` is ``"awake"`` or ``"drowsy"``; ``allow_posture_shifts``
+        can be disabled for controlled micro-benchmarks (e.g. the I/Q
+        signature figures).
+        """
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        duration_s = n_frames / frame_rate_hz
+        profile = self.profile
+
+        blink_process = BlinkProcess(profile.blink_stats(state))
+        events = blink_process.sample_events(duration_s, rng)
+        closure = self.kinematics.closure_track(events, n_frames, frame_rate_hz)
+
+        t = np.arange(n_frames) / frame_rate_hz
+        weighted = np.zeros(n_frames)
+        for event in events:
+            gain = float(rng.lognormal(0.0, self.blink_gain_sigma))
+            weighted += gain * self.kinematics.closure_at(t, event)
+
+        chest_resp = profile.respiration.displacement(n_frames, frame_rate_hz, rng)
+        head_resp = profile.respiration.head_displacement(chest_resp)
+        head_bcg = profile.cardiac.head_displacement(n_frames, frame_rate_hz, rng)
+        head_micro = self.micro.displacement(n_frames, frame_rate_hz, rng)
+
+        if allow_posture_shifts:
+            posture, shift_times = self.posture_process().displacement(
+                n_frames, frame_rate_hz, rng
+            )
+        else:
+            posture, shift_times = np.zeros(n_frames), []
+
+        return DriverMotion(
+            eyelid_closure=closure,
+            blink_reflectivity_weight=weighted,
+            head_displacement=head_resp + head_bcg + head_micro + posture,
+            eye_extra_displacement=-EYELID_PROTRUSION_M * closure,
+            chest_displacement=chest_resp + posture,
+            blink_events=events,
+            posture_shift_times_s=shift_times,
+        )

@@ -1,0 +1,96 @@
+"""Respiratory chest-wall motion.
+
+Breathing is the largest physiological motion in the cabin and one of the
+paper's two named biosignal interferers (Sec. IV-D). It matters twice:
+
+1. as *interference* — the chest is a big reflector a few range bins behind
+   the face, and respiration-coupled shoulder/head sway leaks a small
+   periodic displacement into the eye's own range bin;
+2. as a *feature* — BlinkRadar deliberately exploits the persistent
+   respiration/BCG disturbance at the eye bin to find the right range bin
+   quickly ("the first time we have exploited 'harmful' embedded
+   interference", Sec. IV-D).
+
+The model is a frequency-wandering sinusoid with a second harmonic
+(inhale/exhale asymmetry) and cycle-to-cycle amplitude variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RespirationModel"]
+
+
+@dataclass(frozen=True)
+class RespirationModel:
+    """Chest displacement generator.
+
+    Attributes
+    ----------
+    rate_hz:
+        Mean breathing rate. 0.25 Hz = 15 breaths/min.
+    amplitude_m:
+        Peak chest-wall displacement. 5 mm — the figure the paper quotes
+        for respiratory monitoring ("chest displacement of about 5 mm").
+    harmonic_ratio:
+        Relative amplitude of the second harmonic shaping the asymmetric
+        inhale/exhale.
+    rate_jitter:
+        Fractional std of the slowly wandering instantaneous rate.
+    head_coupling:
+        Fraction of chest displacement that appears as head/shoulder sway
+        (the component that lands in the eye's range bin). A seated torso
+        pivots at the hips, so the head sways by a substantial fraction of
+        the chest excursion (~2.5 mm peak here); this persistent sway is what
+        makes the eye bin's I/Q trajectory a resolvable arc — the
+        "embedded interference" BlinkRadar deliberately exploits.
+    """
+
+    rate_hz: float = 0.25
+    amplitude_m: float = 5.0e-3
+    harmonic_ratio: float = 0.25
+    rate_jitter: float = 0.08
+    head_coupling: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0 or self.amplitude_m <= 0:
+            raise ValueError("rate and amplitude must be positive")
+        if not 0 <= self.harmonic_ratio <= 1 or not 0 <= self.head_coupling <= 1:
+            raise ValueError("harmonic_ratio and head_coupling must be in [0, 1]")
+        if self.rate_jitter < 0:
+            raise ValueError("rate_jitter must be >= 0")
+
+    def displacement(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Chest displacement track (m) on the slow-time grid.
+
+        The instantaneous frequency performs a bounded random walk around
+        ``rate_hz`` so cycles drift like real breathing instead of being a
+        pure tone.
+        """
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        dt = 1.0 / frame_rate_hz
+        # Smooth random walk of the instantaneous rate, clipped to stay
+        # physiological.
+        steps = rng.normal(scale=self.rate_jitter * self.rate_hz * np.sqrt(dt), size=n_frames)
+        inst_rate = np.clip(
+            self.rate_hz + np.cumsum(steps) * 0.15, 0.6 * self.rate_hz, 1.6 * self.rate_hz
+        )
+        phase = 2.0 * np.pi * np.cumsum(inst_rate) * dt
+        # Cycle-scale amplitude variability (slowly varying envelope).
+        envelope = 1.0 + 0.15 * np.sin(
+            2.0 * np.pi * rng.uniform(0.01, 0.03) * np.arange(n_frames) * dt
+            + rng.uniform(0, 2 * np.pi)
+        )
+        fundamental = np.sin(phase)
+        harmonic = self.harmonic_ratio * np.sin(2.0 * phase + rng.uniform(0, 2 * np.pi))
+        return self.amplitude_m * envelope * (fundamental + harmonic) / (1 + self.harmonic_ratio)
+
+    def head_displacement(self, chest_displacement_m: np.ndarray) -> np.ndarray:
+        """Respiration-coupled head sway derived from a chest track (m)."""
+        return self.head_coupling * np.asarray(chest_displacement_m, dtype=float)

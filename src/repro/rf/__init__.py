@@ -1,0 +1,58 @@
+"""IR-UWB radar physics substrate.
+
+Models the commercial-grade impulse-radio UWB transceiver that BlinkRadar
+runs on (7.3 GHz carrier, 1.4 GHz bandwidth, 40 ms frame period), from the
+Gaussian pulse of Eq. (1) through the multipath channel of Eq. (4) to the
+complex baseband range profiles of Eq. (6) that the detection pipeline
+consumes.
+
+Layout:
+
+- :mod:`repro.rf.constants` — physical constants and unit helpers.
+- :mod:`repro.rf.config` — :class:`~repro.rf.config.RadarConfig`.
+- :mod:`repro.rf.pulse` — transmit pulse design (Eq. 1–3) and spectra.
+- :mod:`repro.rf.regulatory` — FCC UWB emission mask and derivative-pulse
+  shapes for compliance checking.
+- :mod:`repro.rf.materials` — reflectivity table for in-cabin materials.
+- :mod:`repro.rf.geometry` — antenna gain pattern and aspect-angle effects.
+- :mod:`repro.rf.channel` — multipath propagation (Eq. 4–5).
+- :mod:`repro.rf.receiver` — quadrature receiver producing complex baseband
+  range profiles (Eq. 6), in both an exact RF-chain form and a fast
+  analytic form.
+- :mod:`repro.rf.radar` — the :class:`~repro.rf.radar.UwbRadar` façade.
+"""
+
+from repro.rf.channel import MultipathChannel, PropagationPath
+from repro.rf.config import RadarConfig
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.geometry import AntennaPattern, aspect_gain
+from repro.rf.materials import Material, MATERIALS
+from repro.rf.pulse import GaussianPulse
+from repro.rf.regulatory import (
+    FCC_INDOOR_MASK,
+    GaussianDerivativePulse,
+    MaskReport,
+    check_mask_compliance,
+    mask_limit_dbm_mhz,
+)
+from repro.rf.radar import UwbRadar
+from repro.rf.receiver import QuadratureReceiver
+
+__all__ = [
+    "MultipathChannel",
+    "PropagationPath",
+    "RadarConfig",
+    "SPEED_OF_LIGHT",
+    "AntennaPattern",
+    "aspect_gain",
+    "Material",
+    "MATERIALS",
+    "GaussianPulse",
+    "FCC_INDOOR_MASK",
+    "GaussianDerivativePulse",
+    "MaskReport",
+    "check_mask_compliance",
+    "mask_limit_dbm_mhz",
+    "UwbRadar",
+    "QuadratureReceiver",
+]

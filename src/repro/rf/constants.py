@@ -1,0 +1,58 @@
+"""Physical constants and small unit helpers used across the RF substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "db_to_linear",
+    "linear_to_db",
+    "wavelength",
+    "range_resolution",
+    "phase_change",
+]
+
+#: Speed of light in vacuum (m/s). The paper rounds to 3.0e8; we use the
+#: exact value — the difference is irrelevant at cabin scale.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio in dB to linear."""
+    return float(10.0 ** (db / 10.0))
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return float(10.0 * np.log10(ratio))
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength (m) of ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def range_resolution(bandwidth_hz: float) -> float:
+    """Radar range resolution Δr = c / 2B (m).
+
+    For the paper's 1.4 GHz bandwidth this is 0.107 m. (The paper prints
+    "1.07 cm"; c/2B gives 10.7 cm — see DESIGN.md Sec. 5.)
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return SPEED_OF_LIGHT / (2.0 * bandwidth_hz)
+
+
+def phase_change(carrier_hz: float, displacement_m: float | np.ndarray) -> float | np.ndarray:
+    """Round-trip phase change Δφ = −4π f₀ Δd / c of Eq. (9).
+
+    A target moving ``displacement_m`` closer to the radar (positive Δd
+    toward the radar) advances the echo and rotates the baseband sample by
+    this angle (radians).
+    """
+    return -4.0 * np.pi * carrier_hz * displacement_m / SPEED_OF_LIGHT

@@ -1,0 +1,106 @@
+"""Antenna pattern and aspect-angle effects.
+
+Two geometric effects make BlinkRadar's accuracy fall off the boresight
+(paper Fig. 15(c,d) and Sec. VIII "The limited angular range of the
+antenna"):
+
+1. The radar antenna has a finite beam; off-axis targets are illuminated
+   and received with less gain (squared, for the two-way trip).
+2. The eye is a small, nearly specular reflector: off normal incidence, the
+   corneal return is deflected away from the monostatic radar.
+
+:class:`AntennaPattern` models (1) with a Gaussian main lobe;
+:func:`aspect_gain` models (2). The elevation tolerance is a little wider
+than the azimuth tolerance, matching the paper's observation that detection
+survives to ~30° elevation but degrades past ~15–30° azimuth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AntennaPattern", "aspect_gain", "SensorPose"]
+
+_LN2 = float(np.log(2.0))
+
+
+@dataclass(frozen=True)
+class AntennaPattern:
+    """Gaussian main-lobe antenna power pattern.
+
+    Attributes
+    ----------
+    hpbw_azimuth_deg / hpbw_elevation_deg:
+        Half-power beamwidths. 65° is typical of the small patch antennas
+        on X4-class modules.
+    """
+
+    hpbw_azimuth_deg: float = 65.0
+    hpbw_elevation_deg: float = 65.0
+
+    def __post_init__(self) -> None:
+        if self.hpbw_azimuth_deg <= 0 or self.hpbw_elevation_deg <= 0:
+            raise ValueError("beamwidths must be positive")
+
+    def gain(self, azimuth_deg: float, elevation_deg: float) -> float:
+        """One-way power gain (boresight = 1) at the given off-axis angles."""
+        g_az = np.exp(-_LN2 * (2.0 * azimuth_deg / self.hpbw_azimuth_deg) ** 2)
+        g_el = np.exp(-_LN2 * (2.0 * elevation_deg / self.hpbw_elevation_deg) ** 2)
+        return float(g_az * g_el)
+
+    def two_way_gain(self, azimuth_deg: float, elevation_deg: float) -> float:
+        """Transmit × receive gain for a monostatic radar."""
+        return self.gain(azimuth_deg, elevation_deg) ** 2
+
+
+def aspect_gain(
+    azimuth_deg: float,
+    elevation_deg: float,
+    azimuth_width_deg: float = 22.0,
+    elevation_width_deg: float = 30.0,
+) -> float:
+    """Specular back-scatter factor of a smooth convex reflector (the eye).
+
+    Power returned toward the monostatic radar decays as a Gaussian in the
+    aspect angle. The defaults make the combined (antenna × aspect) pattern
+    reproduce the paper's geometry sweeps: near-full return within 15°,
+    graceful loss to 30°, steep loss beyond.
+
+    Parameters are separate per plane because the eyelid/eye-socket
+    geometry shadows azimuthal aspect faster than elevation.
+    """
+    if azimuth_width_deg <= 0 or elevation_width_deg <= 0:
+        raise ValueError("aspect widths must be positive")
+    g_az = np.exp(-((azimuth_deg / azimuth_width_deg) ** 2))
+    g_el = np.exp(-((elevation_deg / elevation_width_deg) ** 2))
+    return float(g_az * g_el)
+
+
+@dataclass(frozen=True)
+class SensorPose:
+    """Placement of the radar relative to the driver's eyes.
+
+    Attributes
+    ----------
+    distance_m:
+        Line-of-sight distance from the antenna to the eyes. Paper default
+        0.4 m (windshield mount).
+    azimuth_deg:
+        Horizontal off-axis angle between antenna boresight and the eye
+        direction (Fig. 15(d) sweeps 0–60°).
+    elevation_deg:
+        Vertical off-axis angle (Fig. 15(c) sweeps 0–60°; 0° = line of
+        sight).
+    """
+
+    distance_m: float = 0.4
+    azimuth_deg: float = 0.0
+    elevation_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {self.distance_m}")
+        if not 0.0 <= self.azimuth_deg < 90.0 or not 0.0 <= self.elevation_deg < 90.0:
+            raise ValueError("angles must be in [0, 90) degrees")

@@ -1,0 +1,169 @@
+"""UWB regulatory masks and pulse-shape compliance.
+
+Indoor UWB devices must fit the FCC Part 15.209/15.517 indoor emission
+mask: −41.3 dBm/MHz EIRP inside 3.1–10.6 GHz, with much tighter limits
+outside (notably −75.3 dBm/MHz in the 0.96–1.61 GHz GPS band). The paper's
+7.3 GHz / 1.4 GHz signal sits comfortably inside the allowed band; this
+module makes that checkable:
+
+- :data:`FCC_INDOOR_MASK` — the piecewise mask in dBm/MHz;
+- :func:`mask_limit_dbm_mhz` — the limit at a frequency;
+- :func:`check_mask_compliance` — normalise a pulse's PSD to the in-band
+  limit and report the worst out-of-band margin;
+- :class:`GaussianDerivativePulse` — higher-order derivative pulses, the
+  shapes AC-coupled pulse generators actually emit (a plain Gaussian has a
+  DC component no antenna radiates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.pulse import sigma_from_bandwidth
+
+__all__ = [
+    "FCC_INDOOR_MASK",
+    "mask_limit_dbm_mhz",
+    "MaskReport",
+    "check_mask_compliance",
+    "GaussianDerivativePulse",
+]
+
+#: FCC indoor UWB mask: (f_low_Hz, f_high_Hz, limit_dBm_per_MHz).
+FCC_INDOOR_MASK: tuple[tuple[float, float, float], ...] = (
+    (0.0, 0.96e9, -41.3),
+    (0.96e9, 1.61e9, -75.3),
+    (1.61e9, 1.99e9, -53.3),
+    (1.99e9, 3.1e9, -51.3),
+    (3.1e9, 10.6e9, -41.3),
+    (10.6e9, np.inf, -51.3),
+)
+
+
+def mask_limit_dbm_mhz(frequency_hz: float) -> float:
+    """FCC indoor mask limit (dBm/MHz) at ``frequency_hz``."""
+    if frequency_hz < 0:
+        raise ValueError(f"frequency must be >= 0, got {frequency_hz}")
+    for lo, hi, limit in FCC_INDOOR_MASK:
+        if lo <= frequency_hz < hi:
+            return limit
+    return FCC_INDOOR_MASK[-1][2]
+
+
+@dataclass(frozen=True)
+class MaskReport:
+    """Result of a mask-compliance check.
+
+    Attributes
+    ----------
+    compliant:
+        True when the (normalised) PSD stays under the mask everywhere.
+    worst_margin_db:
+        Smallest (limit − PSD) margin across frequency; negative =
+        violation.
+    worst_frequency_hz:
+        Where that margin occurs.
+    """
+
+    compliant: bool
+    worst_margin_db: float
+    worst_frequency_hz: float
+
+
+def check_mask_compliance(
+    waveform: np.ndarray, sample_rate_hz: float, nfft: int = 1 << 16
+) -> MaskReport:
+    """Check a pulse waveform's spectral *shape* against the FCC mask.
+
+    Absolute EIRP depends on transmit power and antenna gain, which the
+    repository does not model in dBm; the check therefore normalises the
+    PSD so its in-band (3.1–10.6 GHz) peak sits exactly at the in-band
+    limit — the best-case legal operating point — and then verifies the
+    out-of-band skirts still clear their (stricter) limits. This is the
+    standard shape-compliance argument for pulse designs.
+    """
+    waveform = np.asarray(waveform, dtype=float)
+    if waveform.ndim != 1 or waveform.size < 8:
+        raise ValueError("waveform must be 1-D with at least 8 samples")
+    spectrum = np.abs(np.fft.rfft(waveform, n=nfft)) ** 2
+    freqs = np.fft.rfftfreq(nfft, d=1.0 / sample_rate_hz)
+    psd_db = 10 * np.log10(spectrum + 1e-300)
+
+    in_band = (freqs >= 3.1e9) & (freqs <= 10.6e9)
+    if not in_band.any():
+        raise ValueError("sample rate too low to cover the 3.1-10.6 GHz band")
+    # Normalise: in-band peak -> the in-band limit (-41.3 dBm/MHz).
+    psd_db = psd_db - psd_db[in_band].max() + (-41.3)
+
+    limits = np.array([mask_limit_dbm_mhz(f) for f in freqs])
+    # Ignore bins with negligible energy (numerical floor).
+    significant = psd_db > psd_db.max() - 90.0
+    margins = limits[significant] - psd_db[significant]
+    worst = int(np.argmin(margins))
+    return MaskReport(
+        compliant=bool(margins.min() >= 0.0),
+        worst_margin_db=float(margins.min()),
+        worst_frequency_hz=float(freqs[significant][worst]),
+    )
+
+
+@dataclass(frozen=True)
+class GaussianDerivativePulse:
+    """n-th derivative Gaussian pulse (AC-coupled transmitter shapes).
+
+    A plain Gaussian envelope has a DC component, which no antenna
+    radiates; physical pulse generators emit (approximately) derivatives
+    of a Gaussian — the 1st ("monocycle") and higher orders. The n-th
+    derivative's spectrum is the Gaussian's times f^n: zero at DC, peaked
+    at f_peak = √n / (2π σ).
+
+    For carrier-modulated systems like the paper's the distinction is
+    cosmetic (the carrier shifts the spectrum up anyway); for carrierless
+    UWB the derivative order is the main spectral design knob, and this
+    class exists to design such pulses and check them against the mask.
+    """
+
+    order: int = 5
+    sigma_s: float = sigma_from_bandwidth(1.4e9)
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.order <= 15:
+            raise ValueError(f"order must be in [1, 15], got {self.order}")
+        if self.sigma_s <= 0 or self.amplitude <= 0:
+            raise ValueError("sigma and amplitude must be positive")
+
+    @property
+    def peak_frequency_hz(self) -> float:
+        """Frequency of the spectral peak: √order / (2π σ)."""
+        return float(np.sqrt(self.order) / (2.0 * np.pi * self.sigma_s))
+
+    @staticmethod
+    def _hermite(order: int, x: np.ndarray) -> np.ndarray:
+        """Probabilists' Hermite polynomial He_n(x) by recurrence."""
+        h_prev = np.ones_like(x)
+        if order == 0:
+            return h_prev
+        h = x.copy()
+        for n in range(1, order):
+            h, h_prev = x * h - n * h_prev, h
+        return h
+
+    def waveform(self, sample_rate_hz: float, duration_sigmas: float = 16.0):
+        """Sampled pulse ``(t, x)`` centred in its window, peak-normalised.
+
+        d^n/dt^n exp(−t²/2σ²) = (−1)^n He_n(t/σ) exp(−t²/2σ²) / σ^n; the
+        σ^n scale is absorbed into the unit-peak normalisation.
+        """
+        if sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        n = int(np.ceil(duration_sigmas * self.sigma_s * sample_rate_hz))
+        t = (np.arange(n) - n / 2) / sample_rate_hz
+        x = t / self.sigma_s
+        pulse = self._hermite(self.order, x) * np.exp(-(x**2) / 2.0)
+        peak = np.abs(pulse).max()
+        if peak == 0:
+            raise RuntimeError("degenerate pulse")
+        return t, self.amplitude * pulse / peak

@@ -1,0 +1,16 @@
+"""Scenario orchestration: compose driver, vehicle and radar into traces.
+
+- :mod:`repro.sim.scenario` — :class:`~repro.sim.scenario.Scenario`, the
+  declarative description of one recording session (who, where the radar
+  is, which road, awake or drowsy, how long).
+- :mod:`repro.sim.simulator` — :class:`~repro.sim.simulator.ScenarioSimulator`,
+  which renders a scenario into radar frames plus exact ground truth.
+- :mod:`repro.sim.trace` — :class:`~repro.sim.trace.RadarTrace`, the saved
+  artefact (frames + labels) with npz round-tripping.
+"""
+
+from repro.sim.scenario import Scenario
+from repro.sim.simulator import ScenarioSimulator, simulate
+from repro.sim.trace import RadarTrace
+
+__all__ = ["Scenario", "ScenarioSimulator", "simulate", "RadarTrace"]

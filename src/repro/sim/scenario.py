@@ -1,0 +1,63 @@
+"""Declarative description of one recording session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.physio.driver import ParticipantProfile
+from repro.rf.config import RadarConfig
+from repro.rf.geometry import SensorPose
+from repro.vehicle.road import get_road
+from repro.vehicle.vehicle import VehicleModel
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One simulated data-collection session.
+
+    Attributes
+    ----------
+    participant:
+        Who is driving (eye geometry, glasses, blink statistics, vitals).
+    state:
+        ``"awake"`` or ``"drowsy"`` — which blink statistics apply.
+    pose:
+        Radar placement relative to the eyes (distance / azimuth /
+        elevation; paper default: 0.4 m, boresight).
+    road:
+        Road-condition name from :data:`repro.vehicle.road.ROAD_TYPES`
+        (``"parked"`` reproduces the laboratory sessions).
+    duration_s:
+        Session length. The paper's drowsiness windows are 1 min; most
+        sweeps here use 60–120 s sessions.
+    radar:
+        Radar configuration (paper defaults).
+    allow_posture_shifts:
+        Disable for controlled micro-experiments (I/Q signature figures).
+    """
+
+    participant: ParticipantProfile
+    state: str = "awake"
+    pose: SensorPose = field(default_factory=SensorPose)
+    road: str = "parked"
+    duration_s: float = 60.0
+    radar: RadarConfig = field(default_factory=RadarConfig)
+    allow_posture_shifts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.state not in ("awake", "drowsy"):
+            raise ValueError(f"state must be 'awake' or 'drowsy', got {self.state!r}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        get_road(self.road)  # validate the road name early
+
+    @property
+    def n_frames(self) -> int:
+        """Number of slow-time frames the session spans."""
+        return int(round(self.duration_s * self.radar.frame_rate_hz))
+
+    def vehicle(self) -> VehicleModel:
+        """Vehicle model (default cabin + this scenario's road)."""
+        return VehicleModel(road=get_road(self.road))

@@ -1,0 +1,130 @@
+"""The :class:`RadarTrace` artefact: frames + exact ground truth.
+
+A trace is what a recording session produces: the complex baseband frame
+matrix the detector consumes, plus the labels the simulator knows exactly
+(blink events, driver state, posture-shift times). Traces round-trip
+through ``.npz`` files so example scripts and benchmarks can cache
+expensive simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.physio.blink import BlinkEvent
+
+__all__ = ["RadarTrace"]
+
+
+@dataclass
+class RadarTrace:
+    """One labelled radar recording.
+
+    Attributes
+    ----------
+    frames:
+        (n_frames, n_bins) complex baseband range profiles.
+    timestamps_s:
+        (n_frames,) slow-time stamps.
+    frame_rate_hz:
+        Slow-time frame rate.
+    blink_events:
+        Ground-truth blinks (the simulator's exact event list; stands in
+        for the paper's camera ground truth).
+    state:
+        ``"awake"`` or ``"drowsy"``.
+    eye_bin:
+        Fast-time bin containing the eye return — ground truth for
+        bin-selection tests; the detector never reads it.
+    posture_shift_times_s:
+        Times of large posture shifts (restart-logic ground truth).
+    metadata:
+        Free-form scenario descriptors (participant, road, pose, ...).
+    """
+
+    frames: np.ndarray
+    timestamps_s: np.ndarray
+    frame_rate_hz: float
+    blink_events: list[BlinkEvent]
+    state: str = "awake"
+    eye_bin: int | None = None
+    posture_shift_times_s: list[float] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.frames = np.asarray(self.frames)
+        self.timestamps_s = np.asarray(self.timestamps_s, dtype=float)
+        if self.frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got shape {self.frames.shape}")
+        if len(self.timestamps_s) != self.frames.shape[0]:
+            raise ValueError(
+                f"{len(self.timestamps_s)} timestamps for {self.frames.shape[0]} frames"
+            )
+        if self.frame_rate_hz <= 0:
+            raise ValueError(f"frame rate must be positive, got {self.frame_rate_hz}")
+
+    @property
+    def n_frames(self) -> int:
+        """Number of slow-time frames."""
+        return int(self.frames.shape[0])
+
+    @property
+    def n_bins(self) -> int:
+        """Number of fast-time range bins."""
+        return int(self.frames.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        """Trace duration."""
+        return self.n_frames / self.frame_rate_hz
+
+    @property
+    def blink_times_s(self) -> np.ndarray:
+        """Mid-blink times of every ground-truth blink."""
+        return np.array([e.center_s for e in self.blink_events])
+
+    def blink_rate_per_min(self) -> float:
+        """Ground-truth blink rate over the whole trace."""
+        return 60.0 * len(self.blink_events) / self.duration_s
+
+    def save(self, path: str | Path) -> None:
+        """Serialise to an ``.npz`` file (complex frames kept exactly)."""
+        path = Path(path)
+        events = np.array(
+            [(e.start_s, e.duration_s) for e in self.blink_events], dtype=float
+        ).reshape(-1, 2)
+        np.savez_compressed(
+            path,
+            frames=self.frames,
+            timestamps_s=self.timestamps_s,
+            frame_rate_hz=np.array(self.frame_rate_hz),
+            blink_events=events,
+            state=np.array(self.state),
+            eye_bin=np.array(-1 if self.eye_bin is None else self.eye_bin),
+            posture_shift_times_s=np.array(self.posture_shift_times_s, dtype=float),
+            metadata=np.array(json.dumps(self.metadata)),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RadarTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            events = [
+                BlinkEvent(start_s=float(s), duration_s=float(d))
+                for s, d in data["blink_events"]
+            ]
+            eye_bin = int(data["eye_bin"])
+            return cls(
+                frames=data["frames"],
+                timestamps_s=data["timestamps_s"],
+                frame_rate_hz=float(data["frame_rate_hz"]),
+                blink_events=events,
+                state=str(data["state"]),
+                eye_bin=None if eye_bin < 0 else eye_bin,
+                posture_shift_times_s=[float(t) for t in data["posture_shift_times_s"]],
+                metadata=json.loads(str(data["metadata"])),
+            )

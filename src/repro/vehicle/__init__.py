@@ -1,0 +1,32 @@
+"""Vehicle and road substrate.
+
+Models the two ways the car enters the sensing problem:
+
+- **Static clutter** — the cabin is full of strong reflectors (seats,
+  steering wheel, dashboard) whose returns dwarf the eye's
+  (:mod:`repro.vehicle.cabin`); background subtraction exists to remove
+  them (paper Sec. IV-B-2).
+- **Vibration and maneuvers** — road roughness and driving maneuvers
+  modulate the radar-to-body distance, the dominant nuisance during road
+  tests (paper Sec. VI-H and the Sec. VIII discussion of bumpy roads).
+  :mod:`repro.vehicle.road` catalogues the paper's nine road/maneuver
+  conditions; :mod:`repro.vehicle.vibration` turns a condition into a
+  displacement track.
+"""
+
+from repro.vehicle.cabin import CabinGeometry, CabinReflector, default_cabin
+from repro.vehicle.road import ROAD_GROUPS, ROAD_TYPES, RoadCondition, get_road
+from repro.vehicle.vehicle import VehicleModel
+from repro.vehicle.vibration import VibrationModel
+
+__all__ = [
+    "CabinGeometry",
+    "CabinReflector",
+    "default_cabin",
+    "ROAD_GROUPS",
+    "ROAD_TYPES",
+    "RoadCondition",
+    "get_road",
+    "VehicleModel",
+    "VibrationModel",
+]

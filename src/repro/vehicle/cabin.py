@@ -1,0 +1,111 @@
+"""Cabin geometry: the static reflector inventory.
+
+"Reflections from the seats and steering wheel are much stronger than
+reflections from the eyes" (Sec. IV-B-2) — this module provides exactly
+those reflectors, positioned for a windshield-mounted radar facing the
+driver (paper Fig. 1/12). Ranges of body-relative reflectors (headrest)
+are expressed as offsets from the driver's eye distance so distance sweeps
+keep the cabin coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rf.materials import get_material
+
+__all__ = ["CabinReflector", "CabinGeometry", "default_cabin"]
+
+
+@dataclass(frozen=True)
+class CabinReflector:
+    """One static reflector inside the cabin.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("steering_wheel", "headrest", ...).
+    range_m:
+        One-way distance from the radar. Interpreted as absolute unless
+        ``relative_to_driver`` is True, in which case the driver's eye
+        distance is added.
+    material:
+        Key into :data:`repro.rf.materials.MATERIALS`.
+    rcs_m2:
+        Radar cross-section (m²).
+    relative_to_driver:
+        Whether ``range_m`` is an offset behind (positive) or in front
+        (negative) of the driver's eyes.
+    beam_gain:
+        Two-way antenna power gain toward this reflector. The windshield
+        radar is aimed at the driver's face, so fixtures well below
+        boresight (dashboard, steering wheel) are illuminated only by the
+        pattern's skirt.
+    """
+
+    name: str
+    range_m: float
+    material: str
+    rcs_m2: float
+    relative_to_driver: bool = False
+    beam_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        get_material(self.material)  # validate early
+        if self.rcs_m2 <= 0:
+            raise ValueError(f"rcs must be positive, got {self.rcs_m2}")
+        if not 0.0 < self.beam_gain <= 1.0:
+            raise ValueError(f"beam_gain must be in (0, 1], got {self.beam_gain}")
+
+    def absolute_range_m(self, driver_distance_m: float) -> float:
+        """Resolve the reflector's absolute range for a given driver distance."""
+        rng = self.range_m + (driver_distance_m if self.relative_to_driver else 0.0)
+        if rng <= 0:
+            raise ValueError(
+                f"reflector {self.name!r} resolves to non-positive range {rng}"
+            )
+        return rng
+
+
+@dataclass(frozen=True)
+class CabinGeometry:
+    """The set of static reflectors seen by the windshield-mounted radar."""
+
+    reflectors: tuple[CabinReflector, ...] = field(default_factory=tuple)
+
+    def resolved(self, driver_distance_m: float) -> list[tuple[CabinReflector, float]]:
+        """Pairs of (reflector, absolute range) for a given driver distance."""
+        return [(r, r.absolute_range_m(driver_distance_m)) for r in self.reflectors]
+
+
+def default_cabin() -> CabinGeometry:
+    """Volkswagen-Sagitar-like cabin as seen from the windshield mount.
+
+    The steering wheel sits between the radar and the driver; the headrest
+    and seat back are behind the head; the dashboard below the mount gives
+    a short-range plastic return.
+    """
+    return CabinGeometry(
+        reflectors=(
+            CabinReflector("dashboard", 0.18, "plastic", 3.0e-2, beam_gain=0.02),
+            CabinReflector("steering_wheel", 0.26, "metal", 4.0e-3, beam_gain=0.05),
+            # Side structures at face range: they put a *static* vector in
+            # the eye's own range cell (the "multipath-filled signal" of
+            # Fig. 2), which is why 1-D amplitude is an unreliable blink
+            # observable and the I/Q viewing position is needed.
+            CabinReflector("a_pillar", 0.44, "plastic", 2.0e-2, beam_gain=0.15),
+            CabinReflector("door_panel", 0.58, "plastic", 4.0e-2, beam_gain=0.2),
+            CabinReflector(
+                "headrest", 0.22, "fabric_foam", 5.0e-2,
+                relative_to_driver=True, beam_gain=0.7,
+            ),
+            CabinReflector(
+                "seat_back", 0.45, "fabric_foam", 1.2e-1,
+                relative_to_driver=True, beam_gain=0.5,
+            ),
+            CabinReflector(
+                "rear_cabin", 0.95, "plastic", 2.0e-1,
+                relative_to_driver=True, beam_gain=0.3,
+            ),
+        )
+    )

@@ -1,0 +1,83 @@
+"""Road-condition catalogue.
+
+The paper evaluates nine conditions — "smooth highway, bumpy road, uphill
+road, downhill road, intersection, left turn, right turn, roundabout,
+U-turn" (Sec. VI-H) — and reports accuracy over four grouped road types in
+Fig. 16(b). Each condition is parameterised by:
+
+- ``vibration_rms_m`` — RMS of the broadband body-vs-device displacement
+  from road roughness (classes in the spirit of ISO 8608);
+- ``bump_rate_hz`` — rate of discrete bump transients (potholes, joints);
+- ``maneuver_rate_hz`` / ``maneuver_amplitude_m`` — rate and radial
+  magnitude of slow body-sway excursions induced by steering/accelerating.
+
+``ROAD_GROUPS`` maps the figure's group indices 1–4 (increasingly
+challenging) onto the conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoadCondition", "ROAD_TYPES", "ROAD_GROUPS", "get_road", "PARKED"]
+
+
+@dataclass(frozen=True)
+class RoadCondition:
+    """One driving condition's disturbance parameters."""
+
+    name: str
+    vibration_rms_m: float
+    bump_rate_hz: float
+    maneuver_rate_hz: float
+    maneuver_amplitude_m: float
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "vibration_rms_m",
+            "bump_rate_hz",
+            "maneuver_rate_hz",
+            "maneuver_amplitude_m",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be >= 0, got {getattr(self, attr)}")
+
+
+#: A stationary vehicle (laboratory condition in the paper's Sec. VI setup).
+PARKED = RoadCondition(
+    name="parked", vibration_rms_m=0.0, bump_rate_hz=0.0, maneuver_rate_hz=0.0,
+    maneuver_amplitude_m=0.0,
+)
+
+_CONDITIONS = [
+    RoadCondition("smooth_highway", 2.5e-4, 0.01, 0.002, 2.0e-3),
+    RoadCondition("uphill", 3.5e-4, 0.02, 0.01, 3.0e-3),
+    RoadCondition("downhill", 3.5e-4, 0.02, 0.01, 3.0e-3),
+    RoadCondition("intersection", 3.0e-4, 0.02, 0.04, 5.0e-3),
+    RoadCondition("left_turn", 3.0e-4, 0.02, 0.05, 6.0e-3),
+    RoadCondition("right_turn", 3.0e-4, 0.02, 0.05, 6.0e-3),
+    RoadCondition("roundabout", 4.0e-4, 0.03, 0.07, 7.0e-3),
+    RoadCondition("u_turn", 4.0e-4, 0.03, 0.08, 8.0e-3),
+    RoadCondition("bumpy", 9.0e-4, 0.12, 0.03, 5.0e-3),
+]
+
+#: All driving conditions, keyed by name (``PARKED`` included).
+ROAD_TYPES: dict[str, RoadCondition] = {c.name: c for c in _CONDITIONS}
+ROAD_TYPES[PARKED.name] = PARKED
+
+#: Fig. 16(b)'s four road-type groups, easiest (1) to hardest (4).
+ROAD_GROUPS: dict[int, list[str]] = {
+    1: ["smooth_highway"],
+    2: ["uphill", "downhill"],
+    3: ["intersection", "left_turn", "right_turn"],
+    4: ["bumpy", "roundabout", "u_turn"],
+}
+
+
+def get_road(name: str) -> RoadCondition:
+    """Look up a road condition by name, with a helpful error on typos."""
+    try:
+        return ROAD_TYPES[name]
+    except KeyError:
+        known = ", ".join(sorted(ROAD_TYPES))
+        raise KeyError(f"unknown road condition {name!r}; known: {known}") from None

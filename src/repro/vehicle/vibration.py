@@ -1,0 +1,133 @@
+"""Vibration synthesis from a road condition.
+
+Sec. VIII of the paper: "vibration and displacement can change the distance
+measurement between the UWB radar and the human body ... the detected
+motion information comes from both the target and the device". We model the
+*relative* radar-to-body displacement directly, as the sum of:
+
+1. broadband suspension-filtered roughness — band-limited Gaussian noise
+   (~0.5–6 Hz, the post-suspension band) scaled to the condition's RMS;
+2. discrete bump transients — damped half-sine impulses at the condition's
+   bump rate (potholes, expansion joints);
+3. maneuver sway — slow raised-cosine excursions during steering events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.filters import design_lowpass_fir, fir_filter
+from repro.vehicle.road import RoadCondition
+
+__all__ = ["VibrationModel"]
+
+
+@dataclass(frozen=True)
+class VibrationModel:
+    """Turn a :class:`RoadCondition` into displacement tracks.
+
+    Attributes
+    ----------
+    condition:
+        The road/maneuver condition to synthesize.
+    band_low_hz / band_high_hz:
+        Pass band of the suspension-filtered roughness. The high edge must
+        stay below the slow-time Nyquist (12.5 Hz at 25 FPS).
+    bump_amplitude_m:
+        Peak displacement of one bump transient.
+    bump_duration_s:
+        Duration of the damped bump oscillation.
+    """
+
+    condition: RoadCondition
+    band_low_hz: float = 0.5
+    band_high_hz: float = 6.0
+    bump_amplitude_m: float = 4.0e-3
+    bump_duration_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.band_low_hz < self.band_high_hz:
+            raise ValueError("need 0 < band_low_hz < band_high_hz")
+        if self.bump_amplitude_m < 0 or self.bump_duration_s <= 0:
+            raise ValueError("bump amplitude must be >= 0 and duration positive")
+
+    def _roughness(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Band-limited roughness displacement scaled to the condition RMS."""
+        if self.condition.vibration_rms_m == 0:
+            return np.zeros(n_frames)
+        white = rng.normal(size=n_frames)
+        # Band-pass = low-pass(high edge) − low-pass(low edge).
+        nyq = frame_rate_hz / 2.0
+        hi = min(self.band_high_hz / frame_rate_hz, 0.49)
+        lo = self.band_low_hz / frame_rate_hz
+        if self.band_high_hz >= nyq:
+            raise ValueError(
+                f"band_high_hz {self.band_high_hz} must be below slow-time Nyquist {nyq}"
+            )
+        taps_hi = design_lowpass_fir(64, hi)
+        taps_lo = design_lowpass_fir(64, lo)
+        band = fir_filter(white, taps_hi) - fir_filter(white, taps_lo)
+        rms = np.sqrt(np.mean(band**2))
+        if rms < 1e-15:
+            return np.zeros(n_frames)
+        return band * (self.condition.vibration_rms_m / rms)
+
+    def _bump_pulse(self, t_rel: np.ndarray) -> np.ndarray:
+        """Damped oscillation of one bump, peak amplitude 1."""
+        inside = (t_rel >= 0) & (t_rel <= self.bump_duration_s)
+        pulse = np.zeros_like(t_rel)
+        x = t_rel[inside] / self.bump_duration_s
+        pulse[inside] = np.exp(-4.0 * x) * np.sin(2.0 * np.pi * 2.0 * x)
+        return pulse
+
+    def _bumps(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Discrete bump transients as a Poisson process."""
+        track = np.zeros(n_frames)
+        if self.condition.bump_rate_hz == 0 or self.bump_amplitude_m == 0:
+            return track
+        duration = n_frames / frame_rate_hz
+        t = np.arange(n_frames) / frame_rate_hz
+        n_bumps = rng.poisson(self.condition.bump_rate_hz * duration)
+        for when in rng.uniform(0, duration, size=n_bumps):
+            severity = float(rng.uniform(0.4, 1.0))
+            track += self.bump_amplitude_m * severity * self._bump_pulse(t - when)
+        return track
+
+    def _maneuvers(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Slow body-sway excursions during steering/acceleration events."""
+        track = np.zeros(n_frames)
+        if self.condition.maneuver_rate_hz == 0 or self.condition.maneuver_amplitude_m == 0:
+            return track
+        duration = n_frames / frame_rate_hz
+        t = np.arange(n_frames) / frame_rate_hz
+        n_events = rng.poisson(self.condition.maneuver_rate_hz * duration)
+        for when in rng.uniform(0, duration, size=n_events):
+            sway_len = float(rng.uniform(2.0, 5.0))
+            amp = self.condition.maneuver_amplitude_m * float(rng.uniform(0.5, 1.0))
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            rel = (t - when) / sway_len
+            inside = (rel >= 0) & (rel <= 1)
+            lobe = np.zeros_like(t)
+            lobe[inside] = np.sin(np.pi * rel[inside]) ** 2
+            track += sign * amp * lobe
+        return track
+
+    def displacement(
+        self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Total radar-to-body relative displacement (m), slow-time grid."""
+        if n_frames < 1 or frame_rate_hz <= 0:
+            raise ValueError("n_frames must be >= 1 and frame_rate_hz positive")
+        return (
+            self._roughness(n_frames, frame_rate_hz, rng)
+            + self._bumps(n_frames, frame_rate_hz, rng)
+            + self._maneuvers(n_frames, frame_rate_hz, rng)
+        )

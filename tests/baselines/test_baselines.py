@@ -1,0 +1,136 @@
+"""Tests for repro.baselines: the ablations must behave as the paper argues."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AmplitudeDetector,
+    PhaseDetector,
+    SpectralRateEstimator,
+    amplitude_bin_config,
+    kasa_fit_config,
+    max_variance_bin_config,
+    static_view_config,
+    taubin_fit_config,
+)
+from repro.core.pipeline import BlinkRadar
+from repro.eval.metrics import score_blink_detection
+
+
+class TestAmplitudeDetector:
+    def test_runs_and_returns_events(self, lab_trace):
+        det = AmplitudeDetector(25.0)
+        events = det.detect(lab_trace.frames)
+        for e in events:
+            assert 0 <= e.time_s <= lab_trace.duration_s
+
+    def test_worse_than_full_pipeline_under_maneuvers(self):
+        # On benign roads the 1-D amplitude observable can ride its luck;
+        # under heavy body sway (the paper's motion-robustness setting) the
+        # I/Q viewing position wins structurally.
+        from repro.physio import ParticipantProfile
+        from repro.sim import Scenario, simulate
+
+        full_acc, amp_acc = [], []
+        for seed in (91, 92):
+            scenario = Scenario(
+                participant=ParticipantProfile("MNV"), road="roundabout",
+                duration_s=60.0, allow_posture_shifts=False,
+            )
+            trace = simulate(scenario, seed=seed)
+            full = BlinkRadar(25.0).detect(trace.frames)
+            full_acc.append(
+                score_blink_detection(trace.blink_times_s, full.event_times_s).accuracy
+            )
+            amp = AmplitudeDetector(25.0)
+            amp_acc.append(
+                score_blink_detection(
+                    trace.blink_times_s, amp.event_times(trace.frames)
+                ).accuracy
+            )
+        assert np.mean(full_acc) > np.mean(amp_acc)
+
+    def test_short_capture_returns_empty(self):
+        det = AmplitudeDetector(25.0)
+        assert det.detect(np.zeros((30, 16), dtype=complex)) == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            AmplitudeDetector(25.0).detect(np.zeros(100))
+
+    def test_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            AmplitudeDetector(0.0)
+
+
+class TestPhaseDetector:
+    def test_runs(self, lab_trace):
+        events = PhaseDetector(25.0).detect(lab_trace.frames)
+        assert isinstance(events, list)
+
+    def test_phase_observable_is_motion_dominated(self, lab_trace):
+        # The phase detector fires mostly on head motion, so its precision
+        # against true blinks must be poor compared with the pipeline.
+        full = BlinkRadar(25.0).detect(lab_trace.frames)
+        full_score = score_blink_detection(lab_trace.blink_times_s, full.event_times_s)
+        phase = PhaseDetector(25.0)
+        phase_score = score_blink_detection(
+            lab_trace.blink_times_s, phase.event_times(lab_trace.frames)
+        )
+        assert full_score.f1 >= phase_score.f1
+
+
+class TestSpectralRateEstimator:
+    def test_estimate_in_band(self, lab_trace):
+        rate = SpectralRateEstimator(25.0).rate_per_min(lab_trace.frames)
+        assert 9.0 <= rate <= 42.0
+
+    def test_fails_to_track_true_rate(self, lab_trace, drowsy_trace):
+        # The whole point of the baseline: the spectral "blink line" does
+        # not follow the true rate the way event counting does.
+        est = SpectralRateEstimator(25.0)
+        err_spectral = abs(
+            est.rate_per_min(lab_trace.frames) - lab_trace.blink_rate_per_min()
+        )
+        detected = BlinkRadar(25.0).detect(lab_trace.frames)
+        err_counting = abs(detected.blink_rate_per_min() - lab_trace.blink_rate_per_min())
+        assert err_counting <= err_spectral + 1.0
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            SpectralRateEstimator(25.0, band_hz=(0.5, 0.1))
+
+    def test_short_capture_rejected(self):
+        with pytest.raises(ValueError):
+            SpectralRateEstimator(25.0).rate_per_min(np.zeros((4, 8), dtype=complex))
+
+
+class TestAblationConfigs:
+    def test_bin_strategy_overrides(self):
+        assert amplitude_bin_config().bin_strategy == "max_amplitude"
+        assert max_variance_bin_config().bin_strategy == "max_variance"
+
+    def test_fit_method_overrides(self):
+        assert kasa_fit_config().viewpos_method == "kasa"
+        assert taubin_fit_config().viewpos_method == "taubin"
+
+    def test_static_view_disables_updates(self):
+        cfg = static_view_config()
+        assert cfg.bin_reselect_interval > 10**6
+        assert cfg.viewpos_update_interval > 10**6
+
+    def test_ablated_bin_selection_hurts(self, lab_trace):
+        full = BlinkRadar(25.0).detect(lab_trace.frames)
+        full_score = score_blink_detection(lab_trace.blink_times_s, full.event_times_s)
+        ablated = BlinkRadar(25.0, config=max_variance_bin_config()).detect(
+            lab_trace.frames
+        )
+        ablated_score = score_blink_detection(
+            lab_trace.blink_times_s, ablated.event_times_s
+        )
+        assert full_score.accuracy > ablated_score.accuracy
+
+    def test_ablation_configs_still_run(self, lab_trace):
+        for cfg in (kasa_fit_config(), taubin_fit_config(), static_view_config()):
+            result = BlinkRadar(25.0, config=cfg).detect(lab_trace.frames[:500])
+            assert result.n_frames == 500

@@ -1,0 +1,98 @@
+"""Tests for the simulated camera baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.camera import (
+    EAR_CLOSED,
+    EAR_OPEN,
+    CameraModel,
+    EarBlinkDetector,
+    simulate_ear_series,
+)
+from repro.eval.metrics import score_blink_detection
+from repro.physio import ParticipantProfile
+
+
+class TestCameraModel:
+    def test_noise_grows_in_darkness(self):
+        day = CameraModel(illumination_lux=5000)
+        night = CameraModel(illumination_lux=1.0)
+        assert night.ear_noise_sigma() > 10 * day.ear_noise_sigma()
+
+    def test_motion_blur_adds_noise(self):
+        cam = CameraModel()
+        assert cam.ear_noise_sigma(vibration_rms_m=1e-3) > cam.ear_noise_sigma(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraModel(illumination_lux=0.0)
+        with pytest.raises(ValueError):
+            CameraModel(frame_rate_hz=0.0)
+
+
+class TestEarSeries:
+    def test_ear_range(self):
+        ear, _ = simulate_ear_series(
+            ParticipantProfile("C"), 30.0, CameraModel(illumination_lux=5000),
+            rng=np.random.default_rng(0),
+        )
+        assert ear.mean() > 0.2  # mostly open
+        assert ear.min() < EAR_OPEN
+
+    def test_blinks_dip_the_ear(self):
+        cam = CameraModel(illumination_lux=50_000)  # nearly noiseless
+        ear, events = simulate_ear_series(
+            ParticipantProfile("C"), 30.0, cam, rng=np.random.default_rng(1)
+        )
+        for e in events:
+            k = int(e.center_s * cam.frame_rate_hz)
+            assert ear[k] < EAR_CLOSED + 0.1
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            simulate_ear_series(ParticipantProfile("C"), 0.0, CameraModel())
+
+
+class TestEarBlinkDetector:
+    def test_daylight_near_perfect(self):
+        cam = CameraModel(illumination_lux=5000)
+        ear, events = simulate_ear_series(
+            ParticipantProfile("C"), 60.0, cam, rng=np.random.default_rng(2)
+        )
+        times = EarBlinkDetector().detect(ear, cam.frame_rate_hz)
+        score = score_blink_detection(np.array([e.center_s for e in events]), times)
+        assert score.f1 > 0.9
+
+    def test_night_degrades(self):
+        # The paper's Sec. I motivation: low light breaks the camera.
+        p = ParticipantProfile("C")
+        f1 = {}
+        for lux in (5000.0, 1.0):
+            cam = CameraModel(illumination_lux=lux)
+            ear, events = simulate_ear_series(p, 60.0, cam,
+                                              rng=np.random.default_rng(3))
+            times = EarBlinkDetector().detect(ear, cam.frame_rate_hz)
+            score = score_blink_detection(
+                np.array([e.center_s for e in events]), times
+            )
+            f1[lux] = score.f1
+        assert f1[1.0] < 0.5 < f1[5000.0]
+
+    def test_occlusion_rejected(self):
+        # A long eyes-closed stretch (occlusion/sleep) is not one blink.
+        ear = np.full(300, EAR_OPEN)
+        ear[50:250] = EAR_CLOSED  # ~6.7 s at 30 FPS
+        times = EarBlinkDetector(max_duration_s=2.0).detect(ear, 30.0)
+        assert len(times) == 0
+
+    def test_single_frame_noise_rejected(self):
+        ear = np.full(300, EAR_OPEN)
+        ear[100] = 0.0
+        assert len(EarBlinkDetector(min_frames=2).detect(ear, 30.0)) == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EarBlinkDetector(close_threshold=0.3, open_threshold=0.2)
+        with pytest.raises(ValueError):
+            EarBlinkDetector().detect(np.ones(10), 0.0)

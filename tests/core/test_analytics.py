@@ -1,0 +1,205 @@
+"""Tests for repro.core.analytics (blink durations, window metrics,
+dual-feature drowsiness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytics import (
+    BlinkWindowMetrics,
+    DualFeatureClassifier,
+    estimate_blink_durations,
+    window_metrics,
+)
+from repro.core.levd import BlinkDetection
+from repro.core.pipeline import BlinkRadar
+
+
+def make_r_with_dips(dips, n=2000, fps=25.0, depth=1.0, width_s=0.3, base=5.0):
+    t = np.arange(n) / fps
+    r = np.full(n, base)
+    for d in dips:
+        r -= depth * np.exp(-((t - d) ** 2) / (2 * (width_s / 3) ** 2))
+    return r
+
+
+def events_at(times, fps=25.0):
+    return [BlinkDetection(int(t * fps), t, 1.0) for t in times]
+
+
+class TestDurationEstimation:
+    def test_width_tracks_blink_width(self):
+        for width in (0.2, 0.4, 0.8):
+            r = make_r_with_dips([20.0], width_s=width)
+            d = estimate_blink_durations(r, events_at([20.0]), 25.0)
+            assert d[0] == pytest.approx(width, rel=0.5)
+
+    def test_wider_blink_longer_duration(self):
+        d_short = estimate_blink_durations(
+            make_r_with_dips([20.0], width_s=0.25), events_at([20.0]), 25.0
+        )[0]
+        d_long = estimate_blink_durations(
+            make_r_with_dips([20.0], width_s=0.7), events_at([20.0]), 25.0
+        )[0]
+        assert d_long > 1.5 * d_short
+
+    def test_nan_for_invalid_apex(self):
+        r = make_r_with_dips([20.0])
+        r[100:110] = np.nan
+        d = estimate_blink_durations(r, [BlinkDetection(105, 4.2, 1.0)], 25.0)
+        assert np.isnan(d[0])
+
+    def test_event_outside_signal(self):
+        r = make_r_with_dips([20.0])
+        d = estimate_blink_durations(r, [BlinkDetection(10**6, 4e4, 1.0)], 25.0)
+        assert np.isnan(d[0])
+
+    def test_upward_bumps_work_too(self):
+        r = 10.0 - make_r_with_dips([20.0])  # inverted: bump instead of dip
+        d = estimate_blink_durations(r, events_at([20.0]), 25.0)
+        assert np.isfinite(d[0])
+
+    def test_capped_by_max_duration(self):
+        # The walk is bounded to max_duration_s on each side of the apex.
+        r = make_r_with_dips([20.0], width_s=5.0)
+        d = estimate_blink_durations(r, events_at([20.0]), 25.0, max_duration_s=1.0)
+        assert d[0] <= 2.0 + 2 / 25.0
+
+    def test_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            estimate_blink_durations(np.ones(10), [], 0.0)
+
+    def test_on_real_pipeline_contrast(self, lab_trace, drowsy_trace):
+        """Estimated durations must separate awake from drowsy captures."""
+        means = {}
+        for name, trace in (("awake", lab_trace), ("drowsy", drowsy_trace)):
+            result = BlinkRadar(25.0).detect(trace.frames)
+            durs = estimate_blink_durations(
+                result.relative_distance, result.events, 25.0
+            )
+            means[name] = np.nanmean(durs)
+        assert means["drowsy"] > 1.5 * means["awake"]
+
+
+class TestWindowMetrics:
+    def test_counts_and_rate(self):
+        events = events_at([10.0, 20.0, 70.0])
+        durs = np.array([0.3, 0.3, 0.3])
+        m = window_metrics(events, durs, 0.0, 60.0)
+        assert m.rate_per_min == pytest.approx(2.0)
+        assert m.mean_duration_s == pytest.approx(0.3)
+        assert m.closure_fraction == pytest.approx(0.6 / 60.0)
+
+    def test_empty_window(self):
+        m = window_metrics([], np.array([]), 0.0, 60.0)
+        assert m.rate_per_min == 0.0
+        assert np.isnan(m.mean_duration_s)
+        assert m.closure_fraction == 0.0
+
+    def test_nan_durations_excluded_from_mean(self):
+        events = events_at([10.0, 20.0])
+        m = window_metrics(events, np.array([0.4, np.nan]), 0.0, 60.0)
+        assert m.rate_per_min == pytest.approx(2.0)
+        assert m.mean_duration_s == pytest.approx(0.4)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            window_metrics(events_at([1.0]), np.array([]), 0.0, 60.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            window_metrics([], np.array([]), 0.0, 0.0)
+
+
+class TestDualFeatureClassifier:
+    def calibrated(self):
+        rng = np.random.default_rng(0)
+        awake = np.column_stack([rng.normal(19, 3, 30), rng.normal(0.22, 0.04, 30)])
+        drowsy = np.column_stack([rng.normal(26, 3, 30), rng.normal(0.6, 0.08, 30)])
+        return DualFeatureClassifier().fit(awake, drowsy)
+
+    def test_duration_disambiguates_overlapping_rates(self):
+        clf = self.calibrated()
+        # Rate 22 is ambiguous; duration decides.
+        assert clf.classify(22.0, 0.2) == "awake"
+        assert clf.classify(22.0, 0.65) == "drowsy"
+
+    def test_rate_only_fallback_on_nan_duration(self):
+        clf = self.calibrated()
+        assert clf.classify(15.0, float("nan")) == "awake"
+        assert clf.classify(30.0, float("nan")) == "drowsy"
+
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            DualFeatureClassifier().classify(20.0, 0.3)
+
+    def test_nan_rows_dropped_in_fit(self):
+        awake = np.array([[19.0, 0.2], [20.0, np.nan], [18.0, 0.25]])
+        drowsy = np.array([[26.0, 0.6], [27.0, 0.62]])
+        clf = DualFeatureClassifier().fit(awake, drowsy)
+        assert clf.trained
+
+    def test_all_nan_calibration_rejected(self):
+        bad = np.array([[np.nan, np.nan]])
+        with pytest.raises(ValueError):
+            DualFeatureClassifier().fit(bad, bad)
+
+    def test_nonfinite_rate_rejected(self):
+        clf = self.calibrated()
+        with pytest.raises(ValueError):
+            clf.classify(float("nan"), 0.3)
+
+
+class TestPerclosClassifier:
+    def test_threshold_between_classes(self):
+        from repro.core.analytics import PerclosClassifier
+        import numpy as np
+
+        clf = PerclosClassifier().fit(np.array([0.05, 0.08]), np.array([0.25, 0.3]))
+        assert 0.08 < clf.threshold < 0.25
+        assert clf.classify(0.05) == "awake"
+        assert clf.classify(0.3) == "drowsy"
+
+    def test_untrained_raises(self):
+        from repro.core.analytics import PerclosClassifier
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            PerclosClassifier().classify(0.1)
+
+    def test_nan_calibration_rejected(self):
+        from repro.core.analytics import PerclosClassifier
+        import numpy as np
+        import pytest
+
+        with pytest.raises(ValueError):
+            PerclosClassifier().fit(np.array([np.nan]), np.array([0.3]))
+
+    def test_nonfinite_query_rejected(self):
+        from repro.core.analytics import PerclosClassifier
+        import numpy as np
+        import pytest
+
+        clf = PerclosClassifier().fit(np.array([0.05]), np.array([0.3]))
+        with pytest.raises(ValueError):
+            clf.classify(float("nan"))
+
+    def test_separates_states_on_pipeline_output(self, lab_trace, drowsy_trace):
+        """Closure fraction from real detections separates awake/drowsy."""
+        import numpy as np
+        from repro.core.analytics import (
+            PerclosClassifier, estimate_blink_durations, window_metrics,
+        )
+        from repro.core.pipeline import BlinkRadar
+
+        closures = {}
+        for name, trace in (("awake", lab_trace), ("drowsy", drowsy_trace)):
+            result = BlinkRadar(25.0).detect(trace.frames)
+            durs = estimate_blink_durations(result.relative_distance, result.events, 25.0)
+            m = window_metrics(result.events, durs, 0.0, trace.duration_s)
+            closures[name] = m.closure_fraction
+        assert closures["drowsy"] > 2 * closures["awake"]
+        clf = PerclosClassifier().fit(
+            np.array([closures["awake"]]), np.array([closures["drowsy"]])
+        )
+        assert clf.classify(closures["awake"]) == "awake"
+        assert clf.classify(closures["drowsy"]) == "drowsy"

@@ -1,0 +1,106 @@
+"""Tests for repro.core.drowsy."""
+
+import numpy as np
+import pytest
+
+from repro.core.drowsy import BlinkRateClassifier, DrowsyDetector, blink_rate_windows
+from repro.core.levd import BlinkDetection
+
+
+def events_at(times, fps=25.0):
+    return [
+        BlinkDetection(frame_index=int(t * fps), time_s=t, prominence=1.0) for t in times
+    ]
+
+
+class TestBlinkRateWindows:
+    def test_simple_count(self):
+        times = np.array([10.0, 20.0, 30.0, 70.0])
+        rates = blink_rate_windows(times, duration_s=120.0, window_s=60.0)
+        assert rates.tolist() == [3.0, 1.0]
+
+    def test_rate_unit_is_per_minute(self):
+        times = np.arange(0, 30, 1.0)  # 30 blinks in 30 s
+        rates = blink_rate_windows(times, duration_s=30.0, window_s=30.0)
+        assert rates[0] == pytest.approx(60.0)
+
+    def test_partial_window_dropped(self):
+        rates = blink_rate_windows(np.array([5.0]), duration_s=90.0, window_s=60.0)
+        assert len(rates) == 1
+
+    def test_overlapping_hops(self):
+        times = np.array([10.0, 70.0])
+        rates = blink_rate_windows(times, duration_s=120.0, window_s=60.0, hop_s=30.0)
+        assert len(rates) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blink_rate_windows(np.array([]), duration_s=0.0)
+        with pytest.raises(ValueError):
+            blink_rate_windows(np.array([]), duration_s=60.0, hop_s=0.0)
+
+
+class TestBlinkRateClassifier:
+    def fit_default(self):
+        rng = np.random.default_rng(0)
+        awake = rng.normal(19, 2, 40)
+        drowsy = rng.normal(27, 3, 40)
+        return BlinkRateClassifier().fit(awake, drowsy)
+
+    def test_threshold_between_means(self):
+        clf = self.fit_default()
+        assert clf.awake_mean < clf.threshold < clf.drowsy_mean
+
+    def test_classification_at_extremes(self):
+        clf = self.fit_default()
+        assert clf.classify(15.0) == "awake"
+        assert clf.classify(32.0) == "drowsy"
+
+    def test_classify_windows_batch(self):
+        clf = self.fit_default()
+        assert clf.classify_windows(np.array([15.0, 32.0])) == ["awake", "drowsy"]
+
+    def test_untrained_raises(self):
+        clf = BlinkRateClassifier()
+        with pytest.raises(RuntimeError):
+            clf.classify(20.0)
+        with pytest.raises(RuntimeError):
+            _ = clf.threshold
+
+    def test_inverted_calibration_flagged(self):
+        clf = BlinkRateClassifier().fit(np.array([30.0, 31.0]), np.array([20.0, 21.0]))
+        assert clf.calibration_inverted
+        healthy = BlinkRateClassifier().fit(np.array([19.0, 20.0]), np.array([26.0, 27.0]))
+        assert not healthy.calibration_inverted
+
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            BlinkRateClassifier().fit(np.array([]), np.array([25.0]))
+
+    def test_degenerate_variance_guarded(self):
+        clf = BlinkRateClassifier().fit(np.full(5, 19.0), np.full(5, 27.0))
+        assert clf.awake_std >= 0.5  # floor applied
+        assert clf.classify(19.0) == "awake"
+
+    def test_unequal_variance_threshold_in_range(self):
+        rng = np.random.default_rng(1)
+        clf = BlinkRateClassifier().fit(rng.normal(19, 1, 50), rng.normal(27, 6, 50))
+        assert 19 < clf.threshold < 27
+
+
+class TestDrowsyDetector:
+    def test_detects_states(self):
+        clf = BlinkRateClassifier().fit(
+            np.random.default_rng(2).normal(19, 2, 30),
+            np.random.default_rng(3).normal(27, 2, 30),
+        )
+        det = DrowsyDetector(clf)
+        slow = events_at(np.linspace(0, 59, 18))
+        fast = events_at(np.linspace(0, 59, 28))
+        assert det.detect(slow, 60.0) == ["awake"]
+        assert det.detect(fast, 60.0) == ["drowsy"]
+
+    def test_window_validation(self):
+        clf = BlinkRateClassifier().fit(np.array([19.0, 20]), np.array([26.0, 27]))
+        with pytest.raises(ValueError):
+            DrowsyDetector(clf, window_s=0)

@@ -1,0 +1,127 @@
+"""Tests for repro.core.iqspace and repro.core.binselect."""
+
+import numpy as np
+import pytest
+
+from repro.core.binselect import find_clusters, select_eye_bin, variance_profile
+from repro.core.iqspace import (
+    amplitude_series,
+    displacement_from_phase,
+    dynamic_component,
+    phase_series,
+    trajectory_variance,
+)
+from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.rf.constants import phase_change
+
+
+class TestIqSpace:
+    def test_amplitude_and_phase(self):
+        samples = 2.0 * np.exp(1j * np.linspace(0, 1, 10))
+        assert np.allclose(amplitude_series(samples), 2.0)
+        assert np.allclose(np.diff(phase_series(samples)), 1 / 9, atol=1e-9)
+
+    def test_phase_unwrap(self):
+        angles = np.linspace(0, 6 * np.pi, 100)  # three turns
+        phase = phase_series(np.exp(1j * angles))
+        assert phase[-1] - phase[0] == pytest.approx(6 * np.pi, rel=1e-6)
+
+    def test_dynamic_component_default_static(self):
+        samples = (5 + 5j) + np.exp(1j * np.linspace(0, 2 * np.pi, 100, endpoint=False))
+        dyn = dynamic_component(samples)
+        assert np.abs(np.mean(dyn)) < 1e-9
+        assert np.abs(dyn).mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_dynamic_component_explicit_static(self):
+        samples = np.array([3 + 4j, 3 + 5j])
+        dyn = dynamic_component(samples, static=3 + 4j)
+        assert dyn[0] == 0
+
+    def test_displacement_from_phase_inverts_eq9(self):
+        d_true = np.linspace(0, 2e-3, 50)
+        phase = phase_change(7.3e9, d_true)
+        recovered = displacement_from_phase(phase, 7.3e9)
+        assert np.allclose(recovered, d_true, atol=1e-9)
+
+    def test_displacement_rejects_bad_carrier(self):
+        with pytest.raises(ValueError):
+            displacement_from_phase(np.zeros(3), 0.0)
+
+    def test_trajectory_variance_rotation_vs_amplitude(self):
+        # 2-D variance sees rotation that 1-D amplitude variance misses —
+        # the core argument of Sec. IV-D.
+        rotation = 1.0 * np.exp(1j * np.linspace(0, 1.0, 200))
+        var_2d = trajectory_variance(rotation)
+        var_amp = np.var(np.abs(rotation))
+        assert var_2d > 100 * var_amp
+
+
+class TestVarianceProfile:
+    def test_shape_and_positive(self, lab_trace):
+        prof = variance_profile(lab_trace.frames[:100])
+        assert prof.shape == (lab_trace.n_bins,)
+        assert np.all(prof >= 0)
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            variance_profile(np.ones((1, 10), dtype=complex))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            variance_profile(np.ones(10))
+
+
+class TestFindClusters:
+    def test_simple_clusters(self):
+        v = np.array([0, 0, 5, 6, 0, 0, 9, 0], dtype=float)
+        assert find_clusters(v, noise_floor=0.5, threshold_factor=2.0) == [(2, 4), (6, 7)]
+
+    def test_cluster_at_end(self):
+        v = np.array([0, 0, 5, 5], dtype=float)
+        assert find_clusters(v, 0.5, 2.0) == [(2, 4)]
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            find_clusters(np.ones(4), -1.0)
+
+
+class TestSelectEyeBin:
+    @pytest.fixture()
+    def processed(self, lab_trace):
+        pre = Preprocessor(PreprocessorConfig(subtract_background=False))
+        return pre.apply(lab_trace.frames), lab_trace.eye_bin
+
+    def test_nearest_peak_finds_eye(self, processed):
+        frames, eye_bin = processed
+        sel = select_eye_bin(frames[:175])
+        assert abs(sel.bin_index - eye_bin) <= 6
+
+    def test_max_variance_finds_torso_instead(self, processed):
+        # The ablation: the global variance max is the breathing torso,
+        # several resolution cells beyond the eyes.
+        frames, eye_bin = processed
+        sel = select_eye_bin(frames[:175], strategy="max_variance")
+        assert sel.bin_index > eye_bin + 20
+
+    def test_max_amplitude_finds_clutter(self, processed):
+        # The paper's "naive approach": the strongest return is the direct
+        # leakage / cabin clutter, nowhere near the eye.
+        frames, eye_bin = processed
+        sel = select_eye_bin(frames[:175], strategy="max_amplitude")
+        assert abs(sel.bin_index - eye_bin) > 10
+
+    def test_candidates_ordered_nearest_first(self, processed):
+        frames, _ = processed
+        sel = select_eye_bin(frames[:175])
+        assert list(sel.candidate_bins) == sorted(sel.candidate_bins)
+
+    def test_unknown_strategy(self, processed):
+        frames, _ = processed
+        with pytest.raises(ValueError):
+            select_eye_bin(frames[:175], strategy="psychic")
+
+    def test_fallback_when_nothing_clears_threshold(self, rng):
+        # Pure noise: no dynamic cluster, but a bin must still be returned.
+        frames = (rng.normal(size=(100, 64)) + 1j * rng.normal(size=(100, 64))) * 1e-7
+        sel = select_eye_bin(frames)
+        assert 0 <= sel.bin_index < 64

@@ -1,0 +1,61 @@
+"""Further pipeline invariants and configuration interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.core.realtime import RealTimeConfig
+from repro.core.levd import LevdConfig
+from repro.eval.metrics import score_blink_detection
+
+
+class TestConfigInterplay:
+    def test_custom_levd_threaded_through(self, lab_trace):
+        tight = RealTimeConfig(levd=LevdConfig(threshold_sigmas=50.0))
+        result = BlinkRadar(25.0, config=tight).detect(lab_trace.frames)
+        loose = BlinkRadar(25.0).detect(lab_trace.frames)
+        assert len(result.events) < len(loose.events)
+
+    def test_longer_cold_start_defers_first_event(self, lab_trace):
+        slow = RealTimeConfig(cold_start_frames=150)
+        result = BlinkRadar(25.0, config=slow).detect(lab_trace.frames)
+        if result.events:
+            assert result.events[0].time_s >= 6.0
+
+    def test_prominences_positive_and_ordered_sane(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        for e in result.events:
+            assert e.prominence > 0
+            assert e.frame_index == int(round(e.time_s * 25.0))
+
+    def test_selected_bins_constant_between_reselects(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        bins = result.selected_bins
+        valid = bins[bins >= 0]
+        # Changes only at reselect boundaries: number of distinct runs is
+        # far below the number of frames.
+        changes = int(np.sum(np.diff(valid) != 0))
+        assert changes <= len(valid) / 50
+
+
+class TestNoiseRobustness:
+    @pytest.mark.parametrize("extra_noise", [0.0, 5e-7, 2e-6])
+    def test_accuracy_degrades_gracefully_with_noise(self, lab_trace, extra_noise, rng):
+        frames = lab_trace.frames + extra_noise * (
+            rng.normal(size=lab_trace.frames.shape)
+            + 1j * rng.normal(size=lab_trace.frames.shape)
+        )
+        result = BlinkRadar(25.0).detect(frames)
+        score = score_blink_detection(lab_trace.blink_times_s, result.event_times_s)
+        if extra_noise == 0.0:
+            assert score.accuracy >= 0.8
+        else:
+            assert score.accuracy >= 0.3  # degraded, not destroyed
+
+    def test_constant_offset_immaterial(self, lab_trace):
+        # A DC offset on every bin (receiver bias) must not change events.
+        base = BlinkRadar(25.0).detect(lab_trace.frames)
+        offset = BlinkRadar(25.0).detect(lab_trace.frames + (1e-4 + 1e-4j))
+        assert [e.frame_index for e in offset.events] == [
+            e.frame_index for e in base.events
+        ]

@@ -1,0 +1,56 @@
+"""API-contract tests of the public BlinkRadar façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytics import DualFeatureClassifier
+from repro.core.drowsy import BlinkRateClassifier
+from repro.core.pipeline import BlinkRadar
+
+
+class TestTrainDrowsinessApi:
+    def test_default_returns_dual(self, lab_trace, drowsy_trace):
+        radar = BlinkRadar(25.0)
+        clf = radar.train_drowsiness([lab_trace.frames], [drowsy_trace.frames],
+                                     window_s=40.0)
+        assert isinstance(clf, DualFeatureClassifier)
+
+    def test_rate_returns_rate_model(self, lab_trace, drowsy_trace):
+        radar = BlinkRadar(25.0)
+        clf = radar.train_drowsiness([lab_trace.frames], [drowsy_trace.frames],
+                                     window_s=40.0, features="rate")
+        assert isinstance(clf, BlinkRateClassifier)
+
+    def test_unknown_features_rejected(self, lab_trace, drowsy_trace):
+        radar = BlinkRadar(25.0)
+        with pytest.raises(ValueError):
+            radar.train_drowsiness([lab_trace.frames], [drowsy_trace.frames],
+                                   features="gaze")
+
+    def test_detect_drowsiness_accepts_both(self, lab_trace, drowsy_trace):
+        radar = BlinkRadar(25.0)
+        for features in ("rate", "rate+duration"):
+            clf = radar.train_drowsiness(
+                [lab_trace.frames], [drowsy_trace.frames],
+                window_s=40.0, features=features,
+            )
+            verdicts = radar.detect_drowsiness(drowsy_trace.frames, clf,
+                                               window_s=40.0)
+            assert verdicts and all(v in ("awake", "drowsy") for v in verdicts)
+
+
+class TestResultApi:
+    def test_rate_windows(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        rates = result.rate_windows(window_s=20.0)
+        assert len(rates) == 2  # 40 s capture → two 20 s windows
+        assert np.all(rates >= 0)
+
+    def test_duration_property(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        assert result.duration_s == pytest.approx(lab_trace.duration_s)
+
+    def test_empty_capture_rate(self):
+        radar = BlinkRadar(25.0)
+        with pytest.raises(ValueError):
+            radar.detect(np.ones(10))

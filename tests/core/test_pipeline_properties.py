@@ -1,0 +1,70 @@
+"""Cross-cutting invariants of the detection pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import BlinkRadar
+from repro.core.levd import LevdConfig, detect_blinks
+from repro.core.realtime import RealTimeConfig
+
+
+class TestPipelineInvariants:
+    def test_events_strictly_ordered(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        times = result.event_times_s
+        assert np.all(np.diff(times) > 0)
+
+    def test_events_respect_refractory(self, drowsy_trace):
+        cfg = RealTimeConfig()
+        result = BlinkRadar(25.0, config=cfg).detect(drowsy_trace.frames)
+        gaps = np.diff(result.event_times_s)
+        assert np.all(gaps >= cfg.levd.refractory_s - 1e-9)
+
+    def test_no_events_before_cold_start(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        assert all(e.time_s >= 2.0 for e in result.events)
+
+    def test_global_amplitude_scale_invariance(self, lab_trace):
+        # The chain (preprocess → bin select → arc fit → LEVD) must be
+        # homogeneous: scaling all frames by a constant changes nothing.
+        base = BlinkRadar(25.0).detect(lab_trace.frames)
+        scaled = BlinkRadar(25.0).detect(lab_trace.frames * 7.3)
+        assert [e.frame_index for e in scaled.events] == [
+            e.frame_index for e in base.events
+        ]
+
+    def test_global_phase_rotation_invariance(self, lab_trace):
+        # A constant phase rotation (cable length, LO phase) is physically
+        # meaningless and must not affect detection.
+        base = BlinkRadar(25.0).detect(lab_trace.frames)
+        rotated = BlinkRadar(25.0).detect(lab_trace.frames * np.exp(1j * 1.234))
+        assert [e.frame_index for e in rotated.events] == [
+            e.frame_index for e in base.events
+        ]
+
+    def test_empty_scene_detects_nothing(self, rng):
+        # Pure thermal noise, no driver: the detector must stay silent.
+        frames = 5e-7 * (rng.normal(size=(1000, 234)) + 1j * rng.normal(size=(1000, 234)))
+        result = BlinkRadar(25.0).detect(frames)
+        assert len(result.events) <= 3
+
+    def test_relative_distance_nonnegative(self, road_trace):
+        result = BlinkRadar(25.0).detect(road_trace.frames)
+        valid = result.relative_distance[~np.isnan(result.relative_distance)]
+        assert np.all(valid >= 0)
+
+
+class TestLevdThresholdMonotonicity:
+    @given(factor=st.floats(1.2, 4.0))
+    @settings(max_examples=15, deadline=None)
+    def test_higher_threshold_never_more_events(self, factor):
+        rng = np.random.default_rng(17)
+        t = np.arange(1000) / 25.0
+        x = 0.02 * rng.normal(size=1000)
+        for bt in (8.0, 16.0, 24.0, 32.0):
+            x += np.exp(-((t - bt) ** 2) / (2 * 0.08**2))
+        low = detect_blinks(x, 25.0, LevdConfig(threshold_sigmas=5.0))
+        high = detect_blinks(x, 25.0, LevdConfig(threshold_sigmas=5.0 * factor))
+        assert len(high) <= len(low)

@@ -1,0 +1,130 @@
+"""Tests for repro.core.realtime and repro.core.pipeline on simulated traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.core.realtime import RealTimeBlinkDetector, RealTimeConfig
+from repro.eval.metrics import score_blink_detection
+
+
+class TestRealTimeConfig:
+    def test_paper_cold_start(self):
+        cfg = RealTimeConfig()
+        assert cfg.cold_start_frames == 50  # 2 s at 25 FPS
+        assert cfg.viewpos_method == "pratt"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RealTimeConfig(cold_start_frames=10, viewpos_min_samples=50)
+        with pytest.raises(ValueError):
+            RealTimeConfig(restart_factor=1.0)
+
+
+class TestColdStart:
+    def test_no_output_during_cold_start(self, lab_trace):
+        det = RealTimeBlinkDetector(25.0)
+        for k in range(49):
+            status = det.process_frame(lab_trace.frames[k])
+            assert np.isnan(status.relative_distance)
+            assert status.selected_bin == -1
+        status = det.process_frame(lab_trace.frames[50])
+        assert status.selected_bin >= 0
+
+    def test_cold_start_duration_is_2s(self, lab_trace):
+        det = RealTimeBlinkDetector(25.0)
+        first_valid = None
+        for k in range(100):
+            status = det.process_frame(lab_trace.frames[k])
+            if not np.isnan(status.relative_distance):
+                first_valid = k
+                break
+        assert first_valid is not None and first_valid <= 55
+
+
+class TestDetection:
+    def test_lab_accuracy(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        score = score_blink_detection(lab_trace.blink_times_s, result.event_times_s)
+        assert score.accuracy >= 0.75
+        assert score.false_alarms <= 6
+
+    def test_road_accuracy(self, road_trace):
+        result = BlinkRadar(25.0).detect(road_trace.frames)
+        score = score_blink_detection(road_trace.blink_times_s, result.event_times_s)
+        assert score.accuracy >= 0.7
+
+    def test_drowsy_accuracy(self, drowsy_trace):
+        result = BlinkRadar(25.0).detect(drowsy_trace.frames)
+        score = score_blink_detection(drowsy_trace.blink_times_s, result.event_times_s)
+        assert score.accuracy >= 0.7
+
+    def test_selected_bin_near_eye(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        used = result.selected_bins[result.selected_bins >= 0]
+        assert abs(np.median(used) - lab_trace.eye_bin) <= 8
+
+    def test_streaming_equals_offline(self, lab_trace):
+        offline = BlinkRadar(25.0).detect(lab_trace.frames)
+        stream = BlinkRadar(25.0)
+        for frame in lab_trace.frames:
+            stream.process_frame(frame)
+        stream_times = [e.time_s for e in stream.stream_events]
+        # The offline path may hold one trailing pending event that only a
+        # finish() flushes.
+        offline_times = [e.time_s for e in offline.events]
+        assert stream_times == offline_times or stream_times == offline_times[:-1]
+
+    def test_result_metadata(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        assert result.n_frames == lab_trace.n_frames
+        assert result.duration_s == pytest.approx(lab_trace.duration_s)
+        assert result.blink_rate_per_min() > 5
+
+
+class TestRestart:
+    def test_restart_on_large_body_movement(self, lab_trace):
+        # Splice two halves with a 4 cm body shift between them: the
+        # detector must restart rather than keep the stale viewing position.
+        from repro.sim import Scenario, simulate
+        from repro.physio import ParticipantProfile
+        from repro.rf.geometry import SensorPose
+
+        sc_near = Scenario(
+            participant=ParticipantProfile("R"), duration_s=20.0,
+            pose=SensorPose(distance_m=0.40), allow_posture_shifts=False,
+        )
+        sc_far = Scenario(
+            participant=ParticipantProfile("R"), duration_s=20.0,
+            pose=SensorPose(distance_m=0.44), allow_posture_shifts=False,
+        )
+        frames = np.concatenate(
+            [simulate(sc_near, seed=9).frames, simulate(sc_far, seed=10).frames]
+        )
+        result = BlinkRadar(25.0).detect(frames)
+        assert any(19.0 < t < 32.0 for t in result.restart_times_s)
+
+    def test_no_restart_when_parked_still(self, lab_trace):
+        result = BlinkRadar(25.0).detect(lab_trace.frames)
+        assert len(result.restart_times_s) == 0
+
+
+class TestInputValidation:
+    def test_detect_rejects_1d(self):
+        with pytest.raises(ValueError):
+            BlinkRadar(25.0).detect(np.ones(100))
+
+    def test_process_frame_rejects_2d(self):
+        det = RealTimeBlinkDetector(25.0)
+        with pytest.raises(ValueError):
+            det.process_frame(np.ones((2, 10)))
+
+    def test_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            RealTimeBlinkDetector(0.0)
+
+    def test_reset_stream(self, lab_trace):
+        radar = BlinkRadar(25.0)
+        radar.process_frame(lab_trace.frames[0])
+        radar.reset_stream()
+        assert radar.stream_events == []

@@ -1,0 +1,124 @@
+"""Tests for repro.core.viewpos."""
+
+import numpy as np
+import pytest
+
+from repro.core.viewpos import ViewingPositionTracker
+
+
+def arc_samples(center, radius, n, span=1.2, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    phases = np.linspace(0, span, n)
+    pts = center + radius * np.exp(1j * phases)
+    if noise:
+        pts = pts + noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    return pts
+
+
+class TestColdStart:
+    def test_none_before_min_samples(self):
+        tracker = ViewingPositionTracker(min_samples=50)
+        for i, s in enumerate(arc_samples(1 + 1j, 0.5, 49)):
+            assert tracker.push(s) is None
+        assert not tracker.ready
+
+    def test_ready_at_min_samples(self):
+        tracker = ViewingPositionTracker(min_samples=50)
+        samples = arc_samples(1 + 1j, 0.5, 50)
+        results = [tracker.push(s) for s in samples]
+        assert results[-1] is not None
+        assert tracker.ready
+
+    def test_first_center_close(self):
+        tracker = ViewingPositionTracker(min_samples=50)
+        for s in arc_samples(2 - 1j, 0.3, 50, noise=1e-3):
+            tracker.push(s)
+        assert abs(tracker.center - (2 - 1j)) < 0.05
+
+
+class TestRelativeDistance:
+    def test_on_arc_r_equals_radius(self):
+        tracker = ViewingPositionTracker(min_samples=50)
+        rs = [tracker.push(s) for s in arc_samples(0, 1.0, 200, noise=1e-4)]
+        late = np.array(rs[100:])
+        assert np.allclose(late, 1.0, atol=0.01)
+
+    def test_radial_step_changes_r(self):
+        tracker = ViewingPositionTracker(min_samples=50, update_interval=10**6)
+        for s in arc_samples(0, 1.0, 100):
+            tracker.push(s)
+        r_blink = tracker.push(complex(0.5 * np.exp(1j * 1.2)))  # amplitude dip
+        assert r_blink == pytest.approx(0.5, abs=0.05)
+
+    def test_batch_relative_distance(self):
+        tracker = ViewingPositionTracker(min_samples=50)
+        for s in arc_samples(0, 1.0, 60):
+            tracker.push(s)
+        rs = tracker.relative_distance(np.array([2.0 + 0j]))
+        assert rs[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_batch_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ViewingPositionTracker().relative_distance(np.array([1 + 1j]))
+
+
+class TestRefitting:
+    def test_refit_flag(self):
+        tracker = ViewingPositionTracker(min_samples=10, update_interval=5)
+        flags = []
+        for s in arc_samples(0, 1.0, 30):
+            tracker.push(s)
+            flags.append(tracker.refitted)
+        assert sum(flags) >= 3  # initial + periodic refits
+
+    def test_blending_tracks_slow_drift(self):
+        tracker = ViewingPositionTracker(min_samples=30, update_interval=10, blend=0.5)
+        # Arc centre drifts from 0 to 0.3 over time.
+        for k in range(400):
+            drift = 0.3 * min(k / 200, 1.0)
+            s = drift + np.exp(1j * (0.8 * np.sin(2 * np.pi * k / 100)))
+            tracker.push(complex(s))
+        assert abs(tracker.center - 0.3) < 0.1
+
+    def test_reset(self):
+        tracker = ViewingPositionTracker(min_samples=10)
+        for s in arc_samples(0, 1.0, 20):
+            tracker.push(s)
+        tracker.reset()
+        assert not tracker.ready and tracker.center is None
+
+    def test_exclude_from_fit(self):
+        tracker = ViewingPositionTracker(min_samples=20, update_interval=1)
+        for s in arc_samples(0, 1.0, 40, noise=1e-3):
+            tracker.push(s)
+        center_before = tracker.center
+        # A burst of excluded outliers must not pull the centre toward
+        # them (refits on the unchanged buffer may still settle slightly).
+        for _ in range(20):
+            tracker.push(5 + 5j, exclude_from_fit=True)
+        assert abs(tracker.center - center_before) < 0.01
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            ViewingPositionTracker(window=2)
+
+    def test_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            ViewingPositionTracker(window=100, min_samples=200)
+
+    def test_bad_method(self):
+        with pytest.raises(ValueError):
+            ViewingPositionTracker(method="lsq")
+
+    def test_bad_blend(self):
+        with pytest.raises(ValueError):
+            ViewingPositionTracker(blend=0.0)
+
+    @pytest.mark.parametrize("method", ["pratt", "kasa", "taubin"])
+    def test_all_methods_work(self, method):
+        tracker = ViewingPositionTracker(min_samples=50, method=method)
+        for s in arc_samples(1 + 1j, 0.5, 80, noise=1e-3):
+            tracker.push(s)
+        assert abs(tracker.center - (1 + 1j)) < 0.1

@@ -1,0 +1,71 @@
+"""Tests for repro.core.vitals."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.core.vitals import VitalSignsMonitor
+from repro.physio import ParticipantProfile
+from repro.physio.cardiac import CardiacModel
+from repro.physio.respiration import RespirationModel
+from repro.sim import Scenario, simulate
+
+
+@pytest.fixture(scope="module")
+def vitals_trace():
+    participant = ParticipantProfile(
+        "VIT",
+        respiration=RespirationModel(rate_hz=0.25),
+        cardiac=CardiacModel(rate_hz=1.15),
+    )
+    scenario = Scenario(participant=participant, duration_s=40.0,
+                        allow_posture_shifts=False)
+    return simulate(scenario, seed=55), participant
+
+
+class TestRespiration:
+    def test_rate_within_one_bpm(self, vitals_trace):
+        trace, participant = vitals_trace
+        vs = VitalSignsMonitor(25.0).measure(trace.frames)
+        assert vs.respiration_bpm == pytest.approx(
+            participant.respiration.rate_hz * 60.0, abs=1.5
+        )
+
+    def test_torso_bin_behind_head_bin(self, vitals_trace):
+        trace, _ = vitals_trace
+        vs = VitalSignsMonitor(25.0).measure(trace.frames)
+        assert vs.torso_bin > vs.head_bin
+
+
+class TestHeartRate:
+    def test_in_physiological_band(self, vitals_trace):
+        trace, _ = vitals_trace
+        vs = VitalSignsMonitor(25.0).measure(trace.frames)
+        assert 48.0 <= vs.heart_rate_bpm <= 132.0
+
+    def test_blink_excision_accepts_pipeline_events(self, vitals_trace):
+        trace, participant = vitals_trace
+        blinks = np.array(
+            [e.frame_index for e in BlinkRadar(25.0).detect(trace.frames).events]
+        )
+        vs = VitalSignsMonitor(25.0).measure(trace.frames, blink_frames=blinks)
+        # BCG-based HR is coarse (see module docs); demand the right regime.
+        assert abs(vs.heart_rate_bpm - participant.cardiac.rate_hz * 60.0) < 20.0
+
+
+class TestValidation:
+    def test_short_capture_rejected(self):
+        with pytest.raises(ValueError, match="20 s"):
+            VitalSignsMonitor(25.0).measure(np.zeros((100, 64), dtype=complex))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            VitalSignsMonitor(25.0).measure(np.zeros(100))
+
+    def test_frame_rate_too_low_for_cardiac(self):
+        with pytest.raises(ValueError):
+            VitalSignsMonitor(4.0)
+
+    def test_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            VitalSignsMonitor(0.0)

@@ -1,0 +1,71 @@
+"""Tests for repro.datasets.participants."""
+
+import pytest
+
+from repro.datasets import (
+    EYE_SIZE_LEVELS,
+    TABLE1_MORNING_RATES,
+    TABLE1_NIGHT_RATES,
+    study_participants,
+    table1_participants,
+)
+
+
+class TestTable1Cohort:
+    def test_eight_participants(self):
+        assert len(table1_participants()) == 8
+
+    def test_night_rates_always_higher(self):
+        # Table I's core observation: everyone blinks more when lethargic.
+        for m, n in zip(TABLE1_MORNING_RATES, TABLE1_NIGHT_RATES):
+            assert n > m
+
+    def test_profiles_encode_table_rates(self):
+        for p, m, n in zip(table1_participants(), TABLE1_MORNING_RATES, TABLE1_NIGHT_RATES):
+            assert p.awake.rate_per_min == pytest.approx(m)
+            assert p.drowsy.rate_per_min == pytest.approx(n)
+
+    def test_paper_reported_values_present(self):
+        # The seven columns the paper actually prints.
+        assert set(TABLE1_MORNING_RATES) >= {20, 21, 19, 18, 22}
+        assert 30 in TABLE1_NIGHT_RATES
+
+
+class TestStudyCohort:
+    def test_twelve_participants(self):
+        assert len(study_participants()) == 12
+
+    def test_names_unique(self):
+        names = [p.name for p in study_participants()]
+        assert len(set(names)) == 12
+
+    def test_glasses_diversity(self):
+        kinds = {p.glasses for p in study_participants()}
+        assert {"none", "myopia", "sunglasses"} <= kinds
+
+    def test_drowsy_rate_exceeds_awake_for_everyone(self):
+        for p in study_participants():
+            assert p.drowsy.rate_per_min > p.awake.rate_per_min
+
+    def test_eye_size_spread(self):
+        widths = [p.eye.width_m for p in study_participants()]
+        assert max(widths) - min(widths) >= 0.008
+
+    def test_deterministic_population(self):
+        a = study_participants()
+        b = study_participants()
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.eye.width_m for p in a] == [p.eye.width_m for p in b]
+
+
+class TestEyeSizeLevels:
+    def test_six_levels(self):
+        assert list(EYE_SIZE_LEVELS) == ["S1", "S2", "S3", "S4", "S5", "S6"]
+
+    def test_smallest_is_papers(self):
+        assert EYE_SIZE_LEVELS["S1"] == (0.035, 0.008)  # 3.5 × 0.8 cm
+
+    def test_monotone_growth(self):
+        sizes = list(EYE_SIZE_LEVELS.values())
+        for (w1, h1), (w2, h2) in zip(sizes, sizes[1:]):
+            assert w2 > w1 and h2 > h1

@@ -1,0 +1,199 @@
+"""Tests for repro.dsp.circlefit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.circlefit import (
+    dominant_radius,
+    fit_circle_dominant,
+    fit_circle_kasa,
+    fit_circle_pratt,
+    fit_circle_robust,
+    fit_circle_taubin,
+    ring_concentration,
+)
+
+ALL_FITS = [fit_circle_kasa, fit_circle_pratt, fit_circle_taubin, fit_circle_dominant]
+
+
+def arc(center, radius, start, stop, n, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    angles = np.linspace(start, stop, n)
+    pts = center + radius * np.exp(1j * angles)
+    if noise:
+        pts = pts + noise * (rng.normal(size=n) + 1j * rng.normal(size=n))
+    return pts
+
+
+class TestExactCircles:
+    @pytest.mark.parametrize("fit", ALL_FITS)
+    def test_full_circle(self, fit):
+        result = fit(arc(1 + 2j, 3.0, 0, 2 * np.pi, 100))
+        assert result.center == pytest.approx(1 + 2j, abs=1e-9)
+        assert result.radius == pytest.approx(3.0, abs=1e-9)
+
+    @pytest.mark.parametrize("fit", ALL_FITS)
+    def test_short_arc(self, fit):
+        result = fit(arc(-5 + 0.5j, 2.0, 0.3, 1.0, 60))
+        assert result.center == pytest.approx(-5 + 0.5j, abs=1e-6)
+
+    @pytest.mark.parametrize("fit", ALL_FITS)
+    def test_three_points(self, fit):
+        pts = np.array([1 + 0j, 0 + 1j, -1 + 0j])  # unit circle
+        result = fit(pts)
+        assert result.center == pytest.approx(0j, abs=1e-9)
+        assert result.radius == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("fit", ALL_FITS)
+    def test_rmse_zero_on_exact(self, fit):
+        result = fit(arc(0, 1.0, 0, 2 * np.pi, 50))
+        assert result.rmse == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNoisyCircles:
+    @pytest.mark.parametrize("fit", [fit_circle_pratt, fit_circle_taubin])
+    def test_noisy_arc_center(self, fit):
+        result = fit(arc(2 + 3j, 1.5, 0, 1.2, 200, noise=1e-3, seed=1))
+        assert abs(result.center - (2 + 3j)) < 0.02
+
+    def test_pratt_beats_kasa_on_short_noisy_arc(self):
+        pts = arc(0, 10.0, 0, 0.5, 300, noise=0.02, seed=2)
+        pratt = fit_circle_pratt(pts)
+        kasa = fit_circle_kasa(pts)
+        # Kåsa's small-radius bias on short arcs (the paper's reason for
+        # choosing Pratt).
+        assert abs(pratt.radius - 10.0) < abs(kasa.radius - 10.0)
+
+    def test_rmse_reflects_noise(self):
+        result = fit_circle_pratt(arc(0, 1.0, 0, 2 * np.pi, 500, noise=0.01, seed=3))
+        assert 0.005 < result.rmse < 0.03
+
+
+class TestInputHandling:
+    def test_xy_array_accepted(self):
+        angles = np.linspace(0, 2 * np.pi, 50)
+        xy = np.column_stack([np.cos(angles), np.sin(angles)])
+        result = fit_circle_pratt(xy)
+        assert result.radius == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("fit", ALL_FITS)
+    def test_too_few_points(self, fit):
+        with pytest.raises(ValueError):
+            fit(np.array([1 + 0j, 0 + 1j]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            fit_circle_pratt(np.ones((4, 3)))
+
+    def test_collinear_points_fall_back(self):
+        pts = np.linspace(0, 1, 20) + 0j
+        result = fit_circle_pratt(pts)  # must not raise
+        assert np.isfinite(result.radius)
+
+    def test_circlefit_helpers(self):
+        result = fit_circle_pratt(arc(1 + 1j, 2.0, 0, 2 * np.pi, 64))
+        assert result.cx == pytest.approx(1.0, abs=1e-9)
+        assert result.cy == pytest.approx(1.0, abs=1e-9)
+        d = result.distance_to(np.array([1 + 1j]))
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRobustAndDominant:
+    def two_ring(self, frac_inner=0.35, n=400, seed=4):
+        rng = np.random.default_rng(seed)
+        pts = 2 + 3j + 1.5 * np.exp(1j * rng.uniform(0, 1.2, n))
+        inner = rng.random(n) < frac_inner
+        pts[inner] = 2 + 3j + 0.4 * np.exp(1j * rng.uniform(0, 1.2, int(inner.sum())))
+        pts += 0.01 * (rng.normal(size=n) + 1j * rng.normal(size=n))
+        return pts
+
+    def test_dominant_recovers_common_center(self):
+        result = fit_circle_dominant(self.two_ring())
+        assert abs(result.center - (2 + 3j)) < 0.05
+        assert result.radius == pytest.approx(1.5, abs=0.05)
+
+    def test_plain_fit_is_biased_on_two_rings(self):
+        pts = self.two_ring()
+        plain = fit_circle_pratt(pts)
+        dominant = fit_circle_dominant(pts)
+        assert abs(dominant.center - (2 + 3j)) < abs(plain.center - (2 + 3j))
+
+    def test_dominant_matches_plain_on_clean_arc(self):
+        pts = arc(1 - 1j, 2.0, 0.2, 1.4, 150, noise=1e-3, seed=5)
+        dominant = fit_circle_dominant(pts)
+        plain = fit_circle_pratt(pts)
+        assert abs(dominant.center - plain.center) < 0.05
+
+    def test_robust_trims_outliers(self):
+        # Moderate contamination: 5 % of samples displaced radially by
+        # ~30 % of the radius. (Gross far-away outliers distort the
+        # *initial* algebraic fit beyond what residual trimming can
+        # recover — that failure mode is exactly why fit_circle_dominant
+        # exists and is covered by test_dominant_recovers_common_center.)
+        rng = np.random.default_rng(6)
+        pts = arc(0, 1.0, 0, 2 * np.pi, 200, noise=0.005, seed=6)
+        bad = rng.choice(200, size=10, replace=False)
+        pts[bad] *= 1.3
+        plain = fit_circle_pratt(pts)
+        robust = fit_circle_robust(pts, trim=0.3)
+        assert abs(robust.center) < abs(plain.center) + 1e-12
+        assert robust.radius == pytest.approx(1.0, abs=0.02)
+
+    @pytest.mark.parametrize("method", ["pratt", "kasa", "taubin"])
+    def test_methods_accepted(self, method):
+        pts = arc(0, 1.0, 0, 2 * np.pi, 60)
+        assert fit_circle_dominant(pts, method=method).radius == pytest.approx(1.0, abs=1e-6)
+
+    def test_unknown_method_rejected(self):
+        pts = arc(0, 1.0, 0, 1.0, 30)
+        with pytest.raises(ValueError):
+            fit_circle_dominant(pts, method="ransac")
+        with pytest.raises(ValueError):
+            fit_circle_robust(pts, method="ransac")
+
+    def test_bad_band_rejected(self):
+        pts = arc(0, 1.0, 0, 1.0, 30)
+        with pytest.raises(ValueError):
+            fit_circle_dominant(pts, band=0.0)
+
+    def test_ring_concentration_peaks_at_true_center(self):
+        pts = self.two_ring()
+        assert ring_concentration(pts, 2 + 3j) > ring_concentration(pts, 2.8 + 3.6j)
+
+    def test_dominant_radius_mode(self):
+        r = np.concatenate([np.full(70, 1.5), np.full(30, 0.4)])
+        r = r + np.random.default_rng(7).normal(0, 0.01, 100)
+        assert dominant_radius(r) == pytest.approx(1.5, abs=0.1)
+
+    def test_dominant_radius_degenerate(self):
+        assert dominant_radius(np.full(10, 2.0)) == pytest.approx(2.0)
+
+    def test_dominant_radius_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_radius(np.array([]))
+
+
+class TestPropertyBased:
+    @given(
+        cx=st.floats(-10, 10),
+        cy=st.floats(-10, 10),
+        radius=st.floats(0.1, 50),
+        span=st.floats(1.0, 2 * np.pi),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pratt_recovers_any_circle(self, cx, cy, radius, span):
+        pts = arc(complex(cx, cy), radius, 0, span, 80)
+        result = fit_circle_pratt(pts)
+        assert abs(result.center - complex(cx, cy)) < 1e-4 * max(radius, 1.0)
+        assert result.radius == pytest.approx(radius, rel=1e-4)
+
+    @given(scale=st.floats(1e-6, 1e6))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_invariance(self, scale):
+        # The eigen-solver tolerance must not depend on absolute scale
+        # (the I/Q data lives at ~1e-4).
+        pts = scale * arc(1 + 1j, 0.5, 0.1, 1.3, 100, noise=1e-3, seed=8)
+        result = fit_circle_pratt(pts)
+        assert abs(result.center - scale * (1 + 1j)) < 0.05 * scale

@@ -1,0 +1,67 @@
+"""Additional filter coverage: frequency-domain properties and edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import CascadingFilter, LoopbackFilter, design_lowpass_fir, fir_filter
+
+
+class TestFrequencyResponses:
+    @pytest.mark.parametrize("cutoff", [0.05, 0.1, 0.2, 0.35])
+    def test_halfpower_near_cutoff(self, cutoff):
+        taps = design_lowpass_fir(128, cutoff)
+        response = np.abs(np.fft.rfft(taps, n=8192))
+        freqs = np.fft.rfftfreq(8192)
+        half = freqs[np.argmin(np.abs(response - 0.5))]
+        assert half == pytest.approx(cutoff, abs=0.02)
+
+    @given(cutoff=st.floats(0.02, 0.45))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_never_amplified(self, cutoff):
+        taps = design_lowpass_fir(64, cutoff)
+        response = np.abs(np.fft.rfft(taps, n=4096))
+        assert response.max() <= 1.05  # small ripple allowed, no gain
+
+    def test_cascade_is_composition(self):
+        casc = CascadingFilter(fir_order=26, cutoff=0.1, smooth_window=16)
+        x = np.random.default_rng(0).normal(size=512)
+        manual = fir_filter(x, casc.taps)
+        from repro.dsp.filters import moving_average
+
+        manual = moving_average(manual, 16)
+        assert np.allclose(casc.apply(x), manual)
+
+
+class TestLoopbackEdgeCases:
+    def test_complex_background_tracked(self):
+        lb = LoopbackFilter(alpha=0.9)
+        frame = np.array([1 + 2j, -3 + 0.5j])
+        for _ in range(100):
+            lb.push(frame)
+        assert np.allclose(lb.background, frame, atol=1e-6)
+
+    def test_apply_continues_streaming_state(self):
+        rng = np.random.default_rng(1)
+        frames = rng.normal(size=(30, 4)) + 0j
+        a = LoopbackFilter(alpha=0.95)
+        first = a.apply(frames[:15])
+        second = a.apply(frames[15:])
+        b = LoopbackFilter(alpha=0.95)
+        full = b.apply(frames)
+        assert np.allclose(np.concatenate([first, second]), full)
+
+    def test_empty_batch(self):
+        lb = LoopbackFilter()
+        out = lb.apply(np.zeros((0, 4)))
+        assert out.shape == (0, 4)
+
+    def test_sinusoid_passband_of_highpass(self):
+        # The loopback output passes fast oscillations nearly unchanged.
+        lb = LoopbackFilter(alpha=0.995)
+        t = np.arange(2000) / 25.0
+        x = np.sin(2 * np.pi * 1.0 * t)[:, None]  # 1 Hz
+        out = lb.apply(x + 0j)
+        # After warm-up the oscillation amplitude survives.
+        assert np.abs(out[500:]).max() > 0.9

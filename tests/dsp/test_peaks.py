@@ -1,0 +1,104 @@
+"""Tests for repro.dsp.peaks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.peaks import alternating_extrema, local_maxima, local_minima
+
+
+class TestLocalMaxima:
+    def test_simple_peak(self):
+        x = np.array([0, 1, 3, 1, 0], dtype=float)
+        assert list(local_maxima(x)) == [2]
+
+    def test_multiple_peaks(self):
+        x = np.array([0, 2, 0, 3, 0, 1, 0], dtype=float)
+        assert list(local_maxima(x)) == [1, 3, 5]
+
+    def test_plateau_center(self):
+        x = np.array([0, 1, 2, 2, 2, 1, 0], dtype=float)
+        assert list(local_maxima(x)) == [3]
+
+    def test_monotone_has_no_interior_peaks(self):
+        assert local_maxima(np.arange(10.0)).size == 0
+
+    def test_endpoints_never_peaks(self):
+        x = np.array([5, 1, 1, 1, 5], dtype=float)
+        assert 0 not in local_maxima(x)
+        assert 4 not in local_maxima(x)
+
+    def test_min_distance_keeps_larger(self):
+        x = np.zeros(20)
+        x[5], x[8] = 2.0, 3.0
+        kept = local_maxima(x, min_distance=5)
+        assert list(kept) == [8]
+
+    def test_short_signal(self):
+        assert local_maxima(np.array([1.0, 2.0])).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            local_maxima(np.ones((3, 3)))
+
+
+class TestLocalMinima:
+    def test_mirror_of_maxima(self):
+        x = np.random.default_rng(0).normal(size=200)
+        assert np.array_equal(local_minima(x), local_maxima(-x))
+
+    def test_simple_valley(self):
+        x = np.array([3, 1, 0, 1, 3], dtype=float)
+        assert list(local_minima(x)) == [2]
+
+
+class TestAlternatingExtrema:
+    def test_alternation_invariant(self):
+        x = np.sin(np.linspace(0, 20, 500)) + 0.05 * np.random.default_rng(1).normal(size=500)
+        exts = alternating_extrema(x)
+        kinds = [e.kind for e in exts]
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    def test_indices_sorted(self):
+        x = np.random.default_rng(2).normal(size=300)
+        exts = alternating_extrema(x)
+        idx = [e.index for e in exts]
+        assert idx == sorted(idx)
+
+    def test_sine_extrema_count(self):
+        t = np.linspace(0, 4 * np.pi, 1000)
+        exts = alternating_extrema(np.sin(t))
+        # 2 maxima + 2 minima inside 2 periods.
+        assert len(exts) == 4
+
+    def test_same_kind_run_keeps_extreme(self):
+        # Two maxima with no minimum between them (monotone plateau dip
+        # removed by construction): craft ascending double peak.
+        x = np.array([0, 2, 1.5, 3, 0], dtype=float)
+        exts = alternating_extrema(x)
+        kinds = [e.kind for e in exts]
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    def test_extremum_values_match_signal(self):
+        x = np.random.default_rng(3).normal(size=100)
+        for e in alternating_extrema(x):
+            assert e.value == x[e.index]
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_alternation_for_any_signal(self, values):
+        exts = alternating_extrema(np.array(values))
+        kinds = [e.kind for e in exts]
+        assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=3, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_max_above_min_between_neighbours(self, values):
+        x = np.array(values)
+        exts = alternating_extrema(x)
+        for a, b in zip(exts, exts[1:]):
+            if a.kind == "max":
+                assert a.value >= b.value
+            else:
+                assert a.value <= b.value

@@ -1,0 +1,98 @@
+"""Tests for repro.dsp.spectral."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectral import (
+    amplitude_spectrum,
+    dominant_frequency,
+    power_spectrum,
+    range_time_map,
+    spectrogram,
+)
+
+
+class TestAmplitudeSpectrum:
+    def test_tone_peak_at_right_frequency(self):
+        fs = 1000.0
+        t = np.arange(2000) / fs
+        freqs, amp = amplitude_spectrum(np.sin(2 * np.pi * 50 * t), fs)
+        assert freqs[np.argmax(amp)] == pytest.approx(50.0, abs=1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.array([]), 1.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            amplitude_spectrum(np.ones((2, 4)), 1.0)
+
+
+class TestPowerSpectrum:
+    def test_parseval(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1024)
+        freqs, power = power_spectrum(x, 1.0)
+        # One-sided rfft power: interior bins carry both signs.
+        total = power[0] + 2 * power[1:-1].sum() + power[-1]
+        assert total == pytest.approx(np.sum(x**2), rel=1e-6)
+
+    def test_complex_input_two_sided(self):
+        fs = 100.0
+        t = np.arange(512) / fs
+        x = np.exp(-1j * 2 * np.pi * 10 * t)
+        freqs, power = power_spectrum(x, fs)
+        assert freqs[np.argmax(power)] == pytest.approx(-10.0, abs=0.5)
+
+    def test_frequencies_sorted_for_complex(self):
+        x = np.random.default_rng(1).normal(size=64) * 1j
+        freqs, _ = power_spectrum(x, 1.0)
+        assert np.all(np.diff(freqs) > 0)
+
+
+class TestSpectrogram:
+    def test_shapes(self):
+        x = np.random.default_rng(2).normal(size=4096)
+        freqs, times, s = spectrogram(x, fs=100.0, nfft=256, hop=128)
+        assert s.shape == (len(freqs), len(times))
+
+    def test_chirp_frequency_increases(self):
+        fs = 1000.0
+        t = np.arange(8192) / fs
+        x = np.sin(2 * np.pi * (20 * t + 40 * t**2 / 2))
+        freqs, times, s = spectrogram(x, fs, nfft=512)
+        first = freqs[np.argmax(s[:, 0])]
+        last = freqs[np.argmax(s[:, -1])]
+        assert last > first
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            spectrogram(np.ones(10), 1.0, nfft=256)
+
+
+class TestRangeTimeMap:
+    def test_power_of_complex(self):
+        frames = np.array([[1 + 1j, 2 + 0j]])
+        assert np.allclose(range_time_map(frames), [[2.0, 4.0]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            range_time_map(np.ones(5))
+
+
+class TestDominantFrequency:
+    def test_finds_tone(self):
+        fs = 25.0
+        t = np.arange(1500) / fs
+        x = 3.0 + np.sin(2 * np.pi * 0.25 * t)
+        assert dominant_frequency(x, fs) == pytest.approx(0.25, abs=0.02)
+
+    def test_fmin_excludes_low_band(self):
+        fs = 25.0
+        t = np.arange(1500) / fs
+        x = np.sin(2 * np.pi * 0.25 * t) + 0.5 * np.sin(2 * np.pi * 1.2 * t)
+        assert dominant_frequency(x, fs, fmin=0.8) == pytest.approx(1.2, abs=0.05)
+
+    def test_fmin_beyond_nyquist_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency(np.ones(64), 1.0, fmin=10.0)

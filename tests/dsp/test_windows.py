@@ -1,0 +1,48 @@
+"""Tests for repro.dsp.windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import hopping_windows, sliding_windows, window_starts
+
+
+class TestWindowStarts:
+    def test_exact_fit(self):
+        assert list(window_starts(10, 5, 5)) == [0, 5]
+
+    def test_partial_tail_dropped(self):
+        assert list(window_starts(11, 5, 5)) == [0, 5]
+
+    def test_signal_shorter_than_window(self):
+        assert window_starts(3, 5, 1).size == 0
+
+    def test_stride_one(self):
+        assert list(window_starts(5, 3, 1)) == [0, 1, 2]
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            window_starts(10, 0, 1)
+        with pytest.raises(ValueError):
+            window_starts(10, 1, 0)
+
+
+class TestIteration:
+    def test_sliding_covers_all(self):
+        x = np.arange(10)
+        windows = list(sliding_windows(x, 4))
+        assert len(windows) == 7
+        start, view = windows[0]
+        assert start == 0 and np.array_equal(view, [0, 1, 2, 3])
+
+    def test_hopping_views_not_copies(self):
+        x = np.arange(10.0)
+        _, view = next(iter(hopping_windows(x, 5, 5)))
+        x[0] = 99.0
+        assert view[0] == 99.0
+
+    def test_2d_windows_slice_rows(self):
+        x = np.arange(20).reshape(10, 2)
+        starts = [s for s, _ in hopping_windows(x, 4, 3)]
+        assert starts == [0, 3, 6]
+        for s, view in hopping_windows(x, 4, 3):
+            assert view.shape == (4, 2)

@@ -1,0 +1,53 @@
+"""Tests for the drowsiness evaluation battery plumbing."""
+
+import pytest
+
+from repro.eval.runner import evaluate_drowsy_battery, with_duration
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    participant = ParticipantProfile("BAT")
+    awake = Scenario(participant=participant, state="awake", duration_s=60.0,
+                     allow_posture_shifts=False)
+    drowsy = Scenario(participant=participant, state="drowsy", duration_s=60.0,
+                      allow_posture_shifts=False)
+    return awake, drowsy
+
+
+class TestBattery:
+    @pytest.mark.slow
+    def test_dual_features_accuracy(self, scenarios):
+        awake, drowsy = scenarios
+        acc = evaluate_drowsy_battery(
+            awake, drowsy, train_seeds=[1, 2], test_seeds=[3, 4]
+        )
+        assert acc >= 0.75
+
+    @pytest.mark.slow
+    def test_rate_feature_selectable(self, scenarios):
+        awake, drowsy = scenarios
+        acc = evaluate_drowsy_battery(
+            awake, drowsy, train_seeds=[1], test_seeds=[3], features="rate"
+        )
+        assert 0.0 <= acc <= 1.0
+
+    def test_unknown_features_rejected(self, scenarios):
+        awake, drowsy = scenarios
+        with pytest.raises(ValueError, match="feature set"):
+            evaluate_drowsy_battery(
+                awake, drowsy, train_seeds=[1], test_seeds=[2], features="eeg"
+            )
+
+    def test_empty_seeds_rejected(self, scenarios):
+        awake, drowsy = scenarios
+        with pytest.raises(ValueError):
+            evaluate_drowsy_battery(awake, drowsy, train_seeds=[], test_seeds=[1])
+
+    def test_with_duration_helper(self, scenarios):
+        awake, _ = scenarios
+        longer = with_duration(awake, 120.0)
+        assert longer.duration_s == 120.0
+        assert longer.participant is awake.participant

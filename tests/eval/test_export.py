@@ -1,0 +1,44 @@
+"""Tests for repro.eval.export."""
+
+import numpy as np
+import pytest
+
+from repro.eval.export import export_cdf, export_series, load_series
+
+
+class TestSeriesRoundtrip:
+    @pytest.mark.parametrize("suffix", [".csv", ".json"])
+    def test_numeric_keys(self, tmp_path, suffix):
+        series = {0.2: 0.96, 0.4: 0.95, 0.8: 0.91}
+        path = export_series(tmp_path / f"s{suffix}", series)
+        assert load_series(path) == pytest.approx(series)
+
+    @pytest.mark.parametrize("suffix", [".csv", ".json"])
+    def test_string_keys(self, tmp_path, suffix):
+        series = {"none": 0.95, "myopia": 0.94, "sunglasses": 0.93}
+        path = export_series(tmp_path / f"s{suffix}", series)
+        assert load_series(path) == pytest.approx(series)
+
+    def test_integer_keys_preserved(self, tmp_path):
+        series = {1: 0.93, 2: 0.9, 3: 0.88, 4: 0.85}
+        loaded = load_series(export_series(tmp_path / "g.csv", series))
+        assert set(loaded) == {1, 2, 3, 4}
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series(tmp_path / "s.xlsx", {1: 2.0})
+        with pytest.raises(ValueError):
+            load_series(tmp_path / "s.parquet")
+
+    def test_labels_in_csv_header(self, tmp_path):
+        path = export_series(tmp_path / "s.csv", {1: 2.0},
+                             x_label="distance_m", y_label="accuracy")
+        assert path.read_text().splitlines()[0] == "distance_m,accuracy"
+
+
+class TestCdfExport:
+    def test_cdf_points(self, tmp_path):
+        samples = np.array([0.9, 0.8, 1.0])
+        loaded = load_series(export_cdf(tmp_path / "cdf.csv", samples))
+        assert loaded[0.8] == pytest.approx(1 / 3)
+        assert loaded[1.0] == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Tests for repro.eval.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import consecutive_miss_rates, match_events, score_blink_detection
+
+
+class TestMatchEvents:
+    def test_perfect_match(self):
+        hits, fa = match_events(np.array([1.0, 2.0]), np.array([1.05, 2.02]))
+        assert hits == [True, True] and fa == 0
+
+    def test_miss_and_false_alarm(self):
+        hits, fa = match_events(np.array([1.0, 5.0]), np.array([1.0, 9.0]))
+        assert hits == [True, False] and fa == 1
+
+    def test_one_detection_cannot_match_twice(self):
+        hits, fa = match_events(np.array([1.0, 1.3]), np.array([1.1]))
+        assert sum(hits) == 1 and fa == 0
+
+    def test_nearest_detection_wins(self):
+        hits, fa = match_events(np.array([1.0]), np.array([0.9, 1.5]), tolerance_s=0.6)
+        assert hits == [True] and fa == 1
+
+    def test_empty_truth(self):
+        hits, fa = match_events(np.array([]), np.array([1.0]))
+        assert hits == [] and fa == 1
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            match_events(np.array([1.0]), np.array([1.0]), tolerance_s=0)
+
+    @given(
+        truths=st.lists(st.floats(0, 100), max_size=30),
+        dets=st.lists(st.floats(0, 100), max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation(self, truths, dets):
+        hits, fa = match_events(np.array(truths), np.array(dets))
+        assert sum(hits) + fa == len(dets)
+        assert len(hits) == len(truths)
+
+
+class TestScore:
+    def test_paper_accuracy_definition(self):
+        score = score_blink_detection(np.array([1, 3, 5.0]), np.array([1.0, 3.0]))
+        assert score.accuracy == pytest.approx(2 / 3)
+        assert score.recall == score.accuracy
+
+    def test_precision_and_f1(self):
+        score = score_blink_detection(np.array([1.0, 3.0]), np.array([1.0, 8.0]))
+        assert score.precision == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_empty_truth_is_perfect_recall(self):
+        score = score_blink_detection(np.array([]), np.array([]))
+        assert score.accuracy == 1.0 and score.precision == 1.0
+
+
+class TestConsecutiveMissRates:
+    def test_paper_style_runs(self):
+        # Among 10 true blinks: one isolated miss (index 1) and one double
+        # miss (indices 3–4) → runs of ≥1: 2/10, ≥2: 1/10, ≥3: 0.
+        masks = [(True, False, True, False, False, True, True, True, True, True)]
+        rates = consecutive_miss_rates(masks)
+        assert rates.tolist() == pytest.approx([2 / 10, 1 / 10, 0.0])
+
+    def test_all_hits(self):
+        rates = consecutive_miss_rates([(True,) * 20])
+        assert rates.tolist() == [0.0, 0.0, 0.0]
+
+    def test_rates_monotone_decreasing(self):
+        rng = np.random.default_rng(0)
+        masks = [tuple(rng.random(50) > 0.1) for _ in range(10)]
+        rates = consecutive_miss_rates(masks)
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_run_at_sequence_start(self):
+        rates = consecutive_miss_rates([(False, False, True)])
+        assert rates.tolist() == pytest.approx([1 / 3, 1 / 3, 0.0])
+
+    def test_multiple_sessions_pooled(self):
+        rates = consecutive_miss_rates([(False, True), (True, True)])
+        assert rates[0] == pytest.approx(1 / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            consecutive_miss_rates([])
+        with pytest.raises(ValueError):
+            consecutive_miss_rates([(True,)], max_run=0)

@@ -1,0 +1,81 @@
+"""Tests for repro.eval.runner, sweeps and report."""
+
+import numpy as np
+import pytest
+
+from repro.eval.report import format_cdf_summary, format_series, format_table
+from repro.eval.runner import run_session, session_accuracies
+from repro.eval.sweeps import distance_sweep, sweep_scenarios
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario
+
+
+@pytest.fixture(scope="module")
+def base_scenario():
+    return Scenario(
+        participant=ParticipantProfile("EVAL"),
+        duration_s=30.0,
+        allow_posture_shifts=False,
+    )
+
+
+class TestRunSession:
+    def test_session_result_fields(self, base_scenario):
+        result = run_session(base_scenario, seed=1)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.trace.n_frames == base_scenario.n_frames
+        assert result.detection.n_frames == base_scenario.n_frames
+
+    def test_reasonable_accuracy(self, base_scenario):
+        result = run_session(base_scenario, seed=1)
+        assert result.accuracy >= 0.6
+
+    def test_session_accuracies_cross_product(self, base_scenario):
+        results = session_accuracies([base_scenario], [1, 2])
+        assert len(results) == 2
+
+    def test_empty_inputs_rejected(self, base_scenario):
+        with pytest.raises(ValueError):
+            session_accuracies([], [1])
+        with pytest.raises(ValueError):
+            session_accuracies([base_scenario], [])
+
+
+class TestSweeps:
+    def test_sweep_preserves_order(self, base_scenario):
+        results = sweep_scenarios(
+            base_scenario,
+            {"a": lambda s: s, "b": lambda s: s},
+            seeds=[1],
+        )
+        assert list(results) == ["a", "b"]
+
+    def test_distance_sweep_keys(self, base_scenario):
+        results = distance_sweep(base_scenario, seeds=[1], distances_m=(0.4,))
+        assert list(results) == [0.4]
+        assert 0 <= results[0.4] <= 1.0
+
+    def test_sweep_needs_seeds(self, base_scenario):
+        with pytest.raises(ValueError):
+            sweep_scenarios(base_scenario, {"a": lambda s: s}, seeds=[])
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table("T", ["a", "b"], [[1, 2.5], ["x", 0.123456]])
+        assert "T" in text and "0.123" in text
+        assert text.count("\n") >= 4
+
+    def test_format_series(self):
+        text = format_series("S", {0.2: 0.96, 0.4: 0.95}, unit="accuracy")
+        assert "0.960" in text and "accuracy" in text
+
+    def test_format_cdf_summary(self):
+        text = format_cdf_summary("CDF", np.linspace(0.8, 1.0, 21))
+        assert "median" in text and "0.900" in text
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a"], [])
+        with pytest.raises(ValueError):
+            format_cdf_summary("C", np.array([]))

@@ -1,0 +1,39 @@
+"""Additional sweep coverage: glasses, road groups, eye size."""
+
+import pytest
+
+from repro.datasets import EYE_SIZE_LEVELS
+from repro.eval.sweeps import eye_size_sweep, glasses_sweep, road_group_sweep
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario
+
+
+@pytest.fixture(scope="module")
+def base():
+    return Scenario(
+        participant=ParticipantProfile("SWP"),
+        duration_s=30.0,
+        allow_posture_shifts=False,
+    )
+
+
+@pytest.mark.slow
+class TestFactorSweeps:
+    def test_glasses_sweep_keys(self, base):
+        results = glasses_sweep(base, seeds=[1], kinds=("none", "sunglasses"))
+        assert list(results) == ["none", "sunglasses"]
+        assert all(0.0 <= v <= 1.0 for v in results.values())
+
+    def test_road_group_sweep_pools_roads(self, base):
+        results = road_group_sweep(base, seeds=[1], groups={1: ["smooth_highway"],
+                                                            4: ["bumpy"]})
+        assert set(results) == {1, 4}
+
+    def test_eye_size_sweep_levels(self, base):
+        two = {k: EYE_SIZE_LEVELS[k] for k in ("S1", "S6")}
+        results = eye_size_sweep(base, seeds=[1], sizes=two)
+        assert list(results) == ["S1", "S6"]
+
+    def test_unknown_road_in_group_raises(self, base):
+        with pytest.raises(KeyError):
+            road_group_sweep(base, seeds=[1], groups={1: ["autobahn"]})

@@ -1,0 +1,197 @@
+"""Tests for the emulated device stack (registers, SPI, device, driver)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.driver import FrameStream, XepDriver
+from repro.hardware.registers import REGISTERS, RegisterFile
+from repro.hardware.spi import ACK, NAK, SpiBus, SpiError, crc8
+
+
+class TestCrc8:
+    def test_known_vector(self):
+        # CRC-8/ATM of "123456789" is 0xF4.
+        assert crc8(b"123456789") == 0xF4
+
+    def test_detects_single_bit_flip(self):
+        data = bytes([0x81, 0x55])
+        good = crc8(data)
+        assert crc8(bytes([0x81, 0x54])) != good
+
+    def test_empty(self):
+        assert crc8(b"") == 0
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        rf = RegisterFile()
+        assert rf.read_name("CHIP_ID") == 0xA4
+        assert rf.read_name("FRAME_RATE_DIV") == 4
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write_name("TX_POWER", 0x80)
+        assert rf.read_name("TX_POWER") == 0x80
+
+    def test_read_only_protection(self):
+        rf = RegisterFile()
+        with pytest.raises(PermissionError):
+            rf.write_name("CHIP_ID", 0x00)
+        rf.write_name("STATUS", 0x03, force=True)  # the device itself may
+
+    def test_unmapped_address(self):
+        rf = RegisterFile()
+        with pytest.raises(KeyError):
+            rf.read(0x77)
+
+    def test_value_range(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.write_name("TX_POWER", 300)
+
+    def test_reset_restores(self):
+        rf = RegisterFile()
+        rf.write_name("TX_POWER", 1)
+        rf.reset()
+        assert rf.read_name("TX_POWER") == 0xFF
+
+
+@pytest.fixture()
+def dev():
+    frames = np.full((20, 8), 1e-4 + 1e-4j)
+    return UwbRadarDevice(frame_source=frames)
+
+
+@pytest.fixture()
+def bus(dev):
+    return SpiBus(dev)
+
+
+class TestSpiProtocol:
+    def test_register_roundtrip_over_wire(self, bus):
+        bus.write_register(REGISTERS["TX_POWER"].address, 0x42)
+        assert bus.read_register(REGISTERS["TX_POWER"].address) == 0x42
+
+    def test_bad_crc_nak(self, dev):
+        # Corrupt the CRC by hand.
+        reply = dev.spi_transaction(bytes([0x00, 0xFF]))
+        assert reply == bytes([NAK])
+
+    def test_write_to_readonly_nak(self, bus):
+        with pytest.raises(SpiError):
+            bus.write_register(REGISTERS["CHIP_ID"].address, 0x00)
+
+    def test_burst_beyond_fifo_nak(self, bus):
+        with pytest.raises(SpiError):
+            bus.burst_read(100)
+
+    def test_master_validates_lengths(self, bus):
+        with pytest.raises(ValueError):
+            bus.burst_read(0)
+        with pytest.raises(ValueError):
+            bus.write_register(0x50, 1)  # outside 6-bit command space
+
+
+class TestDevice:
+    def test_tick_requires_running(self, dev):
+        assert dev.tick() is False
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        assert dev.tick() is True
+
+    def test_quantisation_roundtrip(self, dev):
+        frame = (np.random.default_rng(0).normal(size=8)
+                 + 1j * np.random.default_rng(1).normal(size=8)) * 1e-4
+        decoded = dev.decode_frame(dev.encode_frame(frame))
+        assert np.max(np.abs(decoded - frame)) < 2 * dev.full_scale / 32767
+
+    def test_fifo_count_registers(self, dev):
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        dev.tick()
+        count = dev.registers.read_name("FIFO_COUNT_L") | (
+            dev.registers.read_name("FIFO_COUNT_H") << 8
+        )
+        assert count == 8 * 4  # one 8-bin frame = 32 bytes
+
+    def test_overflow_flag_on_fifo_full(self):
+        frames = np.full((100, 8), 1e-4)
+        dev = UwbRadarDevice(frame_source=frames, fifo_capacity_bytes=3 * 32)
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        for _ in range(10):
+            dev.tick()
+        assert dev.registers.read_name("STATUS") & 0x02
+
+    def test_soft_reset_clears_fifo(self, dev, bus):
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        dev.tick()
+        bus.write_register(REGISTERS["SOFT_RESET"].address, 0x01)
+        assert dev.registers.read_name("FIFO_COUNT_L") == 0
+        assert dev.registers.read_name("TRX_CTRL") == 0x00
+
+    def test_source_exhaustion(self):
+        dev = UwbRadarDevice(frame_source=np.ones((2, 4)))
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        assert dev.tick() and dev.tick()
+        assert dev.tick() is False
+
+    def test_callable_source(self):
+        dev = UwbRadarDevice(frame_source=lambda k: np.full(4, (k + 1) * 1e-5))
+        dev.registers.write_name("TRX_CTRL", 0x01)
+        assert dev.tick()
+        frame = next(dev.fifo_frames())
+        lsb = dev.full_scale / 32767
+        assert frame[0] == pytest.approx(1e-5, abs=2 * lsb)
+
+
+class TestDriver:
+    def test_probe(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        assert drv.probe() == 0x12
+
+    def test_probe_rejects_wrong_chip(self):
+        class NotOurChip:
+            def spi_transaction(self, mosi):
+                return bytes([0x00])
+
+        drv = XepDriver(SpiBus(NotOurChip()), n_bins=8)
+        with pytest.raises(SpiError):
+            drv.probe()
+
+    def test_configure_programs_registers(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        drv.configure(frame_rate_div=10, tx_power=0x80)
+        assert dev.registers.read_name("FRAME_RATE_DIV") == 10
+        assert dev.frame_period_s == pytest.approx(0.1)
+
+    def test_full_stream_roundtrip(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        drv.probe()
+        drv.configure()
+        drv.start()
+        frames = [f for _, f in FrameStream(drv, dev, n_frames=20)]
+        assert len(frames) == 20
+        assert np.allclose(frames[0], 1e-4 + 1e-4j, rtol=1e-3)
+
+    def test_stream_timestamps(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        drv.configure(frame_rate_div=4)
+        drv.start()
+        stamps = [t for t, _ in FrameStream(drv, dev, n_frames=5)]
+        assert np.allclose(np.diff(stamps), 0.04)
+
+    def test_stream_ends_on_exhaustion(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        drv.configure()
+        drv.start()
+        frames = list(FrameStream(drv, dev))  # unbounded; source has 20
+        assert len(frames) == 20
+
+    def test_read_frame_none_when_empty(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        assert drv.read_frame(dev) is None
+
+    def test_stop(self, dev, bus):
+        drv = XepDriver(bus, n_bins=8)
+        drv.start()
+        drv.stop()
+        assert dev.tick() is False

@@ -1,0 +1,35 @@
+"""Integration: the corpus workflow (generate → load → evaluate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.datasets.generators import generate_study_corpus, load_manifest
+from repro.datasets.participants import study_participants
+from repro.eval.metrics import score_blink_detection
+
+
+@pytest.mark.slow
+def test_corpus_end_to_end(tmp_path):
+    """A downstream user's workflow: materialise a corpus once, then
+    evaluate detectors against it repeatedly."""
+    specs = generate_study_corpus(
+        tmp_path,
+        participants=study_participants()[:3],
+        seeds=(11,),
+        duration_s=30.0,
+    )
+    assert len(specs) == 6
+
+    corpus = load_manifest(tmp_path)
+    radar = BlinkRadar(25.0)
+    accs = []
+    for spec, trace in corpus:
+        result = radar.detect(trace.frames)
+        accs.append(
+            score_blink_detection(trace.blink_times_s, result.event_times_s).accuracy
+        )
+    assert np.mean(accs) >= 0.6
+    # States present for every participant.
+    states = {(s.participant, s.state) for s, _ in corpus}
+    assert len(states) == 6

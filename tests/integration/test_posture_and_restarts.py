@@ -1,0 +1,60 @@
+"""Integration: posture shifts, restarts and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.eval.metrics import score_blink_detection
+from repro.physio import ParticipantProfile
+from repro.rf.geometry import SensorPose
+from repro.sim import Scenario, simulate
+
+
+class TestPostureSessions:
+    @pytest.mark.slow
+    def test_accuracy_survives_posture_shifts(self):
+        """Sessions with posture shifts stay in a usable regime — the
+        adaptive update / restart machinery earns its keep here."""
+        accs = []
+        for seed in (41, 42, 43):
+            scenario = Scenario(
+                participant=ParticipantProfile("PST", restlessness=2.0),
+                duration_s=90.0, road="smooth_highway",
+            )
+            trace = simulate(scenario, seed=seed)
+            result = BlinkRadar(25.0).detect(trace.frames)
+            accs.append(
+                score_blink_detection(trace.blink_times_s, result.event_times_s).accuracy
+            )
+        assert np.mean(accs) >= 0.6
+        assert max(accs) >= 0.75
+
+    def test_spliced_large_move_recovers(self):
+        """After a 4 cm body move the detector restarts (or re-converges)
+        and keeps detecting in the second half."""
+        near = Scenario(participant=ParticipantProfile("SPL"), duration_s=30.0,
+                        pose=SensorPose(distance_m=0.40), allow_posture_shifts=False)
+        far = Scenario(participant=ParticipantProfile("SPL"), duration_s=30.0,
+                       pose=SensorPose(distance_m=0.44), allow_posture_shifts=False)
+        t_near, t_far = simulate(near, seed=8), simulate(far, seed=9)
+        frames = np.concatenate([t_near.frames, t_far.frames])
+        result = BlinkRadar(25.0).detect(frames)
+        # Score only the second half, excluding 5 s of re-acquisition.
+        second_truth = t_far.blink_times_s + 30.0
+        second_truth = second_truth[second_truth > 36.0]
+        detected = result.event_times_s
+        score = score_blink_detection(second_truth, detected[detected > 36.0])
+        assert score.accuracy >= 0.6
+
+
+class TestRestartCosts:
+    def test_restart_blind_window_misses_blinks(self):
+        """A restart's 2 s cold start is genuinely blind — the mechanism
+        behind the paper's consecutive-miss statistics (Fig. 15(a))."""
+        scenario = Scenario(participant=ParticipantProfile("BLD"),
+                            duration_s=40.0, allow_posture_shifts=False)
+        trace = simulate(scenario, seed=12)
+        result = BlinkRadar(25.0).detect(trace.frames)
+        # Blinks during the initial cold start are never detected.
+        for e in result.events:
+            assert e.time_s >= 2.0

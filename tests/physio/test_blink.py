@@ -1,0 +1,134 @@
+"""Tests for repro.physio.blink."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physio.blink import (
+    MIN_BLINK_DURATION_S,
+    BlinkEvent,
+    BlinkKinematics,
+    BlinkProcess,
+    BlinkStatistics,
+)
+
+
+class TestBlinkEvent:
+    def test_derived_times(self):
+        e = BlinkEvent(start_s=10.0, duration_s=0.4)
+        assert e.end_s == pytest.approx(10.4)
+        assert e.center_s == pytest.approx(10.2)
+
+    def test_physiological_floor(self):
+        with pytest.raises(ValueError):
+            BlinkEvent(start_s=0.0, duration_s=0.05)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            BlinkEvent(start_s=-1.0, duration_s=0.3)
+
+
+class TestBlinkStatistics:
+    def test_awake_vs_drowsy_contrast(self):
+        awake, drowsy = BlinkStatistics.awake(), BlinkStatistics.drowsy()
+        # Sec. II: drowsy = more frequent AND longer blinks.
+        assert drowsy.rate_per_min > awake.rate_per_min
+        assert drowsy.duration_mean_s > awake.duration_mean_s
+        assert drowsy.duration_mean_s > 0.4  # "will exceed 400ms"
+        assert awake.duration_mean_s < 0.4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BlinkStatistics(0, 0.5, 0.3, 0.05)
+        with pytest.raises(ValueError):
+            BlinkStatistics(20, 0.5, 0.01, 0.05)
+
+
+class TestBlinkProcess:
+    def test_rate_matches_statistics(self, rng):
+        stats = BlinkStatistics.awake(rate_per_min=20.0)
+        events = BlinkProcess(stats).sample_events(600.0, rng)
+        rate = len(events) / 10.0
+        assert rate == pytest.approx(20.0, rel=0.25)
+
+    def test_no_overlap(self, rng):
+        events = BlinkProcess(BlinkStatistics.drowsy()).sample_events(300.0, rng)
+        for a, b in zip(events, events[1:]):
+            assert b.start_s >= a.end_s
+
+    def test_all_within_horizon(self, rng):
+        events = BlinkProcess(BlinkStatistics.awake()).sample_events(60.0, rng)
+        assert all(0 <= e.start_s and e.end_s <= 60.0 for e in events)
+
+    def test_durations_above_floor(self, rng):
+        events = BlinkProcess(BlinkStatistics.awake()).sample_events(300.0, rng)
+        assert all(e.duration_s >= MIN_BLINK_DURATION_S for e in events)
+
+    def test_aperiodicity(self, rng):
+        # Blink intervals must be genuinely variable (cv >> 0), the
+        # property that defeats frequency-domain detection.
+        events = BlinkProcess(BlinkStatistics.awake()).sample_events(600.0, rng)
+        intervals = np.diff([e.start_s for e in events])
+        assert np.std(intervals) / np.mean(intervals) > 0.3
+
+    def test_bad_duration_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BlinkProcess(BlinkStatistics.awake()).sample_events(0.0, rng)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_events_sorted_for_any_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        events = BlinkProcess(BlinkStatistics.drowsy()).sample_events(120.0, rng)
+        starts = [e.start_s for e in events]
+        assert starts == sorted(starts)
+
+
+class TestBlinkKinematics:
+    def test_closure_bounds(self):
+        kin = BlinkKinematics()
+        e = BlinkEvent(1.0, 0.3)
+        t = np.linspace(0, 3, 500)
+        c = kin.closure_at(t, e)
+        assert c.min() >= 0.0 and c.max() <= 1.0
+
+    def test_fully_closed_during_hold(self):
+        kin = BlinkKinematics()
+        e = BlinkEvent(0.0, 1.0)
+        hold_mid = kin.close_fraction + kin.hold_fraction / 2
+        assert kin.closure_at(np.array([hold_mid]), e)[0] == pytest.approx(1.0)
+
+    def test_open_outside_event(self):
+        kin = BlinkKinematics()
+        e = BlinkEvent(1.0, 0.3)
+        assert kin.closure_at(np.array([0.5, 2.0]), e) == pytest.approx([0.0, 0.0])
+
+    def test_reopen_slower_than_close(self):
+        kin = BlinkKinematics()
+        assert kin.reopen_fraction > kin.close_fraction
+
+    def test_track_covers_all_events(self, rng):
+        kin = BlinkKinematics()
+        events = [BlinkEvent(1.0, 0.3), BlinkEvent(3.0, 0.5)]
+        track = kin.closure_track(events, n_frames=125, frame_rate_hz=25.0)
+        assert track.max() == pytest.approx(1.0, abs=0.05)
+        assert track[:20].max() == 0.0  # before the first blink
+
+    def test_track_clipped(self):
+        kin = BlinkKinematics()
+        # Overlapping events (not produced by the process, but the track
+        # must stay physical anyway).
+        events = [BlinkEvent(1.0, 0.5), BlinkEvent(1.1, 0.5)]
+        track = kin.closure_track(events, 100, 25.0)
+        assert track.max() <= 1.0
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            BlinkKinematics(close_fraction=0.7, hold_fraction=0.4)
+        with pytest.raises(ValueError):
+            BlinkKinematics(close_fraction=0.0)
+
+    def test_bad_track_args(self):
+        with pytest.raises(ValueError):
+            BlinkKinematics().closure_track([], 0, 25.0)

@@ -1,0 +1,55 @@
+"""Statistical properties of the blink process across the cohort."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TABLE1_MORNING_RATES,
+    TABLE1_NIGHT_RATES,
+    study_participants,
+    table1_participants,
+)
+from repro.physio.blink import BlinkProcess
+
+
+def minute_counts(stats, n_minutes, seed):
+    rng = np.random.default_rng(seed)
+    process = BlinkProcess(stats)
+    return np.array([len(process.sample_events(60.0, rng)) for _ in range(n_minutes)])
+
+
+class TestCohortStatistics:
+    def test_table1_rates_reproduced_in_expectation(self):
+        for i, p in enumerate(table1_participants()):
+            counts = minute_counts(p.awake, 30, seed=i)
+            assert counts.mean() == pytest.approx(TABLE1_MORNING_RATES[i], abs=2.5)
+            counts = minute_counts(p.drowsy, 30, seed=100 + i)
+            assert counts.mean() == pytest.approx(TABLE1_NIGHT_RATES[i], abs=2.5)
+
+    def test_minute_count_stability_matches_table1(self):
+        # Table I's per-person counts are stable (±~2); the process must
+        # produce a per-minute std in that regime, not Poisson-wide.
+        p = table1_participants()[0]
+        counts = minute_counts(p.awake, 60, seed=5)
+        assert counts.std() < 4.0
+
+    def test_every_study_participant_separable_in_one_minute(self):
+        # The premise of drowsiness detection: awake/drowsy mean counts
+        # differ by clearly more than their per-minute noise.
+        for i, p in enumerate(study_participants()):
+            awake = minute_counts(p.awake, 20, seed=i)
+            drowsy = minute_counts(p.drowsy, 20, seed=200 + i)
+            gap = drowsy.mean() - awake.mean()
+            noise = np.hypot(awake.std(), drowsy.std())
+            assert gap > noise, p.name
+
+    def test_drowsy_durations_exceed_400ms_marker(self):
+        # Sec. II-A: "the blinking time will exceed 400ms" when drowsy.
+        rng = np.random.default_rng(9)
+        for p in study_participants()[:4]:
+            events = BlinkProcess(p.drowsy).sample_events(300.0, rng)
+            durations = np.array([e.duration_s for e in events])
+            assert np.median(durations) > 0.4
+            events = BlinkProcess(p.awake).sample_events(300.0, rng)
+            durations = np.array([e.duration_s for e in events])
+            assert np.median(durations) < 0.4

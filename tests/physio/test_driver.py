@@ -1,0 +1,122 @@
+"""Tests for repro.physio.driver."""
+
+import numpy as np
+import pytest
+
+from repro.physio.blink import BlinkStatistics
+from repro.physio.driver import (
+    EYELID_PROTRUSION_M,
+    DriverModel,
+    EyeGeometry,
+    ParticipantProfile,
+)
+
+
+class TestEyeGeometry:
+    def test_default_plausible(self):
+        eye = EyeGeometry()
+        assert 1e-4 < eye.rcs_m2 < 1e-2
+
+    def test_rcs_grows_with_size(self):
+        small = EyeGeometry(width_m=0.035, height_m=0.008)
+        large = EyeGeometry(width_m=0.046, height_m=0.013)
+        assert large.rcs_m2 > small.rcs_m2
+
+    def test_paper_smallest_eye_accepted(self):
+        EyeGeometry(width_m=0.035, height_m=0.008)  # 3.5 × 0.8 cm
+
+    def test_implausible_rejected(self):
+        with pytest.raises(ValueError):
+            EyeGeometry(width_m=0.2, height_m=0.01)
+        with pytest.raises(ValueError):
+            EyeGeometry(width_m=0.04, height_m=0.001)
+
+
+class TestParticipantProfile:
+    def test_blink_stats_selector(self):
+        p = ParticipantProfile("X")
+        assert p.blink_stats("awake") is p.awake
+        assert p.blink_stats("drowsy") is p.drowsy
+        with pytest.raises(ValueError):
+            p.blink_stats("sleepy")
+
+    def test_glasses_validation(self):
+        with pytest.raises(ValueError):
+            ParticipantProfile("X", glasses="monocle")
+
+    def test_restlessness_validation(self):
+        with pytest.raises(ValueError):
+            ParticipantProfile("X", restlessness=0)
+
+
+class TestDriverModel:
+    def make(self, state="awake", n=1500, seed=0, posture=True):
+        model = DriverModel(ParticipantProfile("X"))
+        return model.generate(
+            n, 25.0, state, np.random.default_rng(seed), allow_posture_shifts=posture
+        )
+
+    def test_track_lengths_consistent(self):
+        m = self.make()
+        assert (
+            len(m.eyelid_closure)
+            == len(m.blink_reflectivity_weight)
+            == len(m.head_displacement)
+            == len(m.eye_extra_displacement)
+            == len(m.chest_displacement)
+            == m.n_frames
+        )
+
+    def test_closure_matches_events(self):
+        m = self.make()
+        for e in m.blink_events:
+            k = int(e.center_s * 25)
+            assert m.eyelid_closure[max(0, k - 3) : k + 4].max() > 0.5
+
+    def test_eye_extra_displacement_sign(self):
+        # Closing brings the reflecting surface toward the radar.
+        m = self.make()
+        assert np.all(m.eye_extra_displacement <= 0)
+        assert m.eye_extra_displacement.min() == pytest.approx(
+            -EYELID_PROTRUSION_M, rel=0.05
+        )
+
+    def test_no_posture_when_disabled(self):
+        m = self.make(posture=False)
+        assert m.posture_shift_times_s == []
+
+    def test_head_and_chest_differ(self):
+        m = self.make()
+        assert not np.allclose(m.head_displacement, m.chest_displacement)
+
+    def test_drowsy_blinks_longer(self):
+        awake = self.make("awake", n=25 * 240, seed=1)
+        drowsy = self.make("drowsy", n=25 * 240, seed=1)
+        mean_awake = np.mean([e.duration_s for e in awake.blink_events])
+        mean_drowsy = np.mean([e.duration_s for e in drowsy.blink_events])
+        assert mean_drowsy > 0.4 > mean_awake
+
+    def test_reflectivity_weight_varies_per_blink(self):
+        m = self.make(n=25 * 240, seed=2)
+        peaks = []
+        for e in m.blink_events:
+            a, b = int(e.start_s * 25), int(e.end_s * 25) + 1
+            peaks.append(m.blink_reflectivity_weight[a:b].max())
+        assert np.std(peaks) > 0.05  # log-normal per-event gain
+
+    def test_deterministic_given_seed(self):
+        a, b = self.make(seed=7), self.make(seed=7)
+        assert np.allclose(a.head_displacement, b.head_displacement)
+        assert [e.start_s for e in a.blink_events] == [e.start_s for e in b.blink_events]
+
+    def test_restlessness_scales_shift_rate(self):
+        calm = ParticipantProfile("C", restlessness=0.5)
+        restless = ParticipantProfile("R", restlessness=2.0)
+        calm_proc = DriverModel(calm).posture_process()
+        restless_proc = DriverModel(restless).posture_process()
+        assert restless_proc.mean_interval_s < calm_proc.mean_interval_s
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            self_model = DriverModel(ParticipantProfile("X"))
+            self_model.generate(0, 25.0, "awake", np.random.default_rng(0))

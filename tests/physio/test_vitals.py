@@ -1,0 +1,134 @@
+"""Tests for respiration, cardiac and body-motion models."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectral import dominant_frequency
+from repro.physio.body import MicroMotion, PostureShiftProcess
+from repro.physio.cardiac import CardiacModel
+from repro.physio.respiration import RespirationModel
+
+
+class TestRespiration:
+    def test_amplitude_bounded(self, rng):
+        model = RespirationModel()
+        d = model.displacement(3000, 25.0, rng)
+        assert np.abs(d).max() < 1.5 * model.amplitude_m
+
+    def test_dominant_frequency_near_rate(self, rng):
+        model = RespirationModel(rate_hz=0.25)
+        d = model.displacement(6000, 25.0, rng)
+        assert dominant_frequency(d, 25.0, fmin=0.05) == pytest.approx(0.25, abs=0.08)
+
+    def test_head_coupling_fraction(self, rng):
+        model = RespirationModel()
+        chest = model.displacement(1000, 25.0, rng)
+        head = model.head_displacement(chest)
+        assert np.allclose(head, model.head_coupling * chest)
+
+    def test_head_sway_produces_resolvable_arc(self, rng):
+        # The head must sway enough that phase = 4π·d/λ sweeps > 1 rad
+        # peak-to-peak — the condition for the I/Q arc BlinkRadar fits.
+        model = RespirationModel()
+        head = model.head_displacement(model.displacement(3000, 25.0, rng))
+        phase_pp = 4 * np.pi * 7.3e9 / 3e8 * (head.max() - head.min())
+        assert phase_pp > 1.0
+
+    def test_rate_variability(self, rng):
+        model = RespirationModel()
+        d = model.displacement(15000, 25.0, rng)
+        # Zero-crossing intervals must vary (not a pure tone).
+        crossings = np.flatnonzero(np.diff(np.sign(d)) > 0)
+        intervals = np.diff(crossings)
+        assert np.std(intervals) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RespirationModel(rate_hz=0)
+        with pytest.raises(ValueError):
+            RespirationModel(head_coupling=1.5)
+        with pytest.raises(ValueError):
+            RespirationModel().displacement(0, 25.0, np.random.default_rng(0))
+
+
+class TestCardiac:
+    def test_beat_times_within_horizon(self, rng):
+        beats = CardiacModel().beat_times(60.0, rng)
+        assert beats.min() >= 0 and beats.max() < 60.0
+
+    def test_beat_rate(self, rng):
+        model = CardiacModel(rate_hz=1.15)
+        beats = model.beat_times(600.0, rng)
+        assert len(beats) / 600.0 == pytest.approx(1.15, rel=0.1)
+
+    def test_bcg_amplitude_about_1mm(self, rng):
+        model = CardiacModel()
+        track = model.head_displacement(3000, 25.0, rng)
+        # Peak displacement ≈ the paper's "approximate 1mm head movement".
+        assert track.max() == pytest.approx(1e-3, rel=0.2)
+
+    def test_bcg_has_rebound(self, rng):
+        track = CardiacModel().head_displacement(3000, 25.0, rng)
+        assert track.min() < -0.1e-3
+
+    def test_rr_floor(self, rng):
+        model = CardiacModel(rate_hz=3.0, rate_jitter=1.0)
+        beats = model.beat_times(60.0, rng)
+        assert np.diff(beats).min() >= 0.3 - 1e-12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CardiacModel(rate_hz=0)
+        with pytest.raises(ValueError):
+            CardiacModel().beat_times(-1.0, np.random.default_rng(0))
+
+
+class TestPostureShift:
+    def test_shift_times_sorted(self, rng):
+        shifts = PostureShiftProcess().sample_shifts(600.0, rng)
+        times = [t for t, _ in shifts]
+        assert times == sorted(times)
+
+    def test_mean_interval(self, rng):
+        process = PostureShiftProcess(mean_interval_s=30.0)
+        shifts = process.sample_shifts(6000.0, rng)
+        assert len(shifts) == pytest.approx(200, rel=0.2)
+
+    def test_track_reaches_cm_scale(self, rng):
+        process = PostureShiftProcess(mean_interval_s=10.0)
+        track, times = process.displacement(2500, 25.0, rng)
+        assert len(times) > 0
+        assert np.abs(np.diff(track)).max() > 0  # actually moves
+
+    def test_track_smooth_transitions(self, rng):
+        process = PostureShiftProcess(mean_interval_s=20.0, transition_s=0.8)
+        track, _ = process.displacement(5000, 25.0, rng)
+        # No instantaneous jumps: per-frame change bounded by
+        # amplitude/transition_frames scale.
+        assert np.abs(np.diff(track)).max() < 0.02
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PostureShiftProcess(mean_interval_s=0)
+
+
+class TestMicroMotion:
+    def test_stationary_std(self, rng):
+        mm = MicroMotion(sigma_m=1e-4, tau_s=0.5)
+        track = mm.displacement(50_000, 25.0, rng)
+        assert np.std(track) == pytest.approx(1e-4, rel=0.1)
+
+    def test_autocorrelation_time(self, rng):
+        mm = MicroMotion(sigma_m=1e-4, tau_s=1.0)
+        track = mm.displacement(50_000, 25.0, rng)
+        ac = np.correlate(track, track, "full")[len(track) - 1 :]
+        ac /= ac[0]
+        lag = np.argmax(ac < np.exp(-1))
+        assert lag / 25.0 == pytest.approx(1.0, rel=0.3)
+
+    def test_zero_sigma(self, rng):
+        assert np.all(MicroMotion(sigma_m=0.0).displacement(100, 25.0, rng) == 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MicroMotion(tau_s=0)

@@ -1,0 +1,159 @@
+"""Tests for repro.rf.channel."""
+
+import numpy as np
+import pytest
+
+from repro.rf.channel import MultipathChannel, PropagationPath, radar_equation_amplitude
+from repro.rf.config import RadarConfig
+from repro.rf.constants import SPEED_OF_LIGHT, phase_change
+
+
+@pytest.fixture()
+def cfg():
+    return RadarConfig()
+
+
+class TestRadarEquation:
+    def test_inverse_square_amplitude(self):
+        a1 = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4)
+        a2 = radar_equation_amplitude(1.0, 7.3e9, 0.8, 1e-4)
+        assert a1 / a2 == pytest.approx(4.0)
+
+    def test_sqrt_rcs_scaling(self):
+        a1 = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4)
+        a4 = radar_equation_amplitude(1.0, 7.3e9, 0.4, 4e-4)
+        assert a4 / a1 == pytest.approx(2.0)
+
+    def test_reflectivity_linear(self):
+        a = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4, reflectivity=0.5)
+        b = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4, reflectivity=1.0)
+        assert a / b == pytest.approx(0.5)
+
+    def test_gain_enters_as_sqrt(self):
+        a = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4, two_way_gain=0.25)
+        b = radar_equation_amplitude(1.0, 7.3e9, 0.4, 1e-4)
+        assert a / b == pytest.approx(0.5)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            radar_equation_amplitude(1.0, 7.3e9, 0.0, 1e-4)
+        with pytest.raises(ValueError):
+            radar_equation_amplitude(1.0, 7.3e9, 0.4, -1.0)
+
+
+class TestPropagationPath:
+    def test_static_path(self):
+        p = PropagationPath("seat", 1.0, 1e-4)
+        assert p.is_static() and p.n_frames() is None
+
+    def test_track_length(self):
+        p = PropagationPath("eye", 0.4, 1e-4, displacement_m=np.zeros(100))
+        assert p.n_frames() == 100 and not p.is_static()
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationPath("x", -0.1, 1e-4)
+        with pytest.raises(ValueError):
+            PropagationPath("x", 0.4, -1e-4)
+        with pytest.raises(ValueError):
+            PropagationPath("x", 0.4, 1e-4, amplitude_scale=np.array([-0.1]))
+
+
+class TestMultipathChannel:
+    def test_envelope_peaks_at_path_range(self, cfg):
+        ch = MultipathChannel(cfg, [PropagationPath("t", 0.4, 1e-4)])
+        frame = ch.baseband_frames(n_frames=1)[0]
+        assert np.argmax(np.abs(frame)) == cfg.range_to_bin(0.4)
+
+    def test_phase_matches_eq9(self, cfg):
+        # Displace the target by Δd: the peak bin's phase rotates by
+        # −4π f0 Δd / c.
+        dd = 0.7e-3
+        ch = MultipathChannel(
+            cfg, [PropagationPath("t", 0.4, 1e-4, displacement_m=np.array([0.0, dd]))]
+        )
+        frames = ch.baseband_frames()
+        b = cfg.range_to_bin(0.4)
+        measured = np.angle(frames[1, b] / frames[0, b])
+        assert measured == pytest.approx(phase_change(cfg.carrier_hz, dd), rel=1e-3)
+
+    def test_superposition(self, cfg):
+        p1 = PropagationPath("a", 0.3, 1e-4)
+        p2 = PropagationPath("b", 0.9, 2e-4)
+        both = MultipathChannel(cfg, [p1, p2]).baseband_frames(n_frames=1)[0]
+        only1 = MultipathChannel(cfg, [p1]).baseband_frames(n_frames=1)[0]
+        only2 = MultipathChannel(cfg, [p2]).baseband_frames(n_frames=1)[0]
+        assert np.allclose(both, only1 + only2)
+
+    def test_amplitude_scale_modulates(self, cfg):
+        scale = np.array([1.0, 0.5])
+        ch = MultipathChannel(
+            cfg, [PropagationPath("t", 0.4, 1e-4, amplitude_scale=scale)]
+        )
+        frames = ch.baseband_frames()
+        b = cfg.range_to_bin(0.4)
+        assert abs(frames[1, b]) == pytest.approx(0.5 * abs(frames[0, b]))
+
+    def test_noise_added_only_with_rng(self, cfg):
+        ch = MultipathChannel(cfg, [PropagationPath("t", 0.4, 1e-4)])
+        clean = ch.baseband_frames(n_frames=2)
+        assert np.allclose(clean[0], clean[1])
+        noisy = ch.baseband_frames(n_frames=2, rng=np.random.default_rng(0))
+        assert not np.allclose(noisy[0], noisy[1])
+
+    def test_noise_level(self, cfg):
+        ch = MultipathChannel(cfg, [PropagationPath("t", 0.4, 0.0)])
+        frames = ch.baseband_frames(n_frames=200, rng=np.random.default_rng(1))
+        assert np.std(frames.real) == pytest.approx(cfg.noise_sigma, rel=0.05)
+
+    def test_infer_n_frames(self, cfg):
+        ch = MultipathChannel(
+            cfg, [PropagationPath("t", 0.4, 1e-4, displacement_m=np.zeros(7))]
+        )
+        assert ch.infer_n_frames() == 7
+
+    def test_inconsistent_tracks_rejected(self, cfg):
+        ch = MultipathChannel(cfg, [
+            PropagationPath("a", 0.4, 1e-4, displacement_m=np.zeros(7)),
+            PropagationPath("b", 0.5, 1e-4, displacement_m=np.zeros(9)),
+        ])
+        with pytest.raises(ValueError):
+            ch.infer_n_frames()
+
+    def test_track_vs_requested_frames_mismatch(self, cfg):
+        ch = MultipathChannel(
+            cfg, [PropagationPath("a", 0.4, 1e-4, displacement_m=np.zeros(7))]
+        )
+        with pytest.raises(ValueError):
+            ch.baseband_frames(n_frames=9)
+
+    def test_empty_channel_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            MultipathChannel(cfg, []).baseband_frames(n_frames=1)
+
+    def test_static_profile_ignores_tracks(self, cfg):
+        moving = PropagationPath(
+            "t", 0.4, 1e-4, displacement_m=np.linspace(0, 0.01, 5)
+        )
+        ch = MultipathChannel(cfg, [moving])
+        profile = ch.static_profile()
+        assert np.argmax(np.abs(profile)) == cfg.range_to_bin(0.4)
+        # Tracks must be restored afterwards.
+        assert moving.displacement_m is not None
+
+    def test_range_sigma_matches_pulse(self, cfg):
+        ch = MultipathChannel(cfg, [PropagationPath("t", 0.4, 1e-4)])
+        # σ_r = c σ_p / 2 ≈ 5.2 cm for the 1.4 GHz pulse.
+        assert ch.range_sigma_m == pytest.approx(0.0517, rel=0.02)
+
+    def test_two_close_reflectors_unresolved(self, cfg):
+        # Closer than c/2B: envelopes blur together (single broad lobe).
+        ch = MultipathChannel(cfg, [
+            PropagationPath("a", 0.40, 1e-4),
+            PropagationPath("b", 0.44, 1e-4),
+        ])
+        frame = np.abs(ch.baseband_frames(n_frames=1)[0])
+        from repro.dsp.peaks import local_maxima
+        peaks = local_maxima(frame, min_distance=3)
+        significant = [p for p in peaks if frame[p] > 0.3 * frame.max()]
+        assert len(significant) == 1

@@ -1,0 +1,84 @@
+"""Property-based tests of the channel physics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.channel import MultipathChannel, PropagationPath, radar_equation_amplitude
+from repro.rf.config import RadarConfig
+from repro.rf.constants import phase_change
+
+CFG = RadarConfig()
+
+
+class TestChannelProperties:
+    @given(
+        range_m=st.floats(0.1, 1.2),
+        amp=st.floats(1e-6, 1e-3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_peak_bin_tracks_range(self, range_m, amp):
+        ch = MultipathChannel(CFG, [PropagationPath("t", range_m, amp)])
+        frame = ch.baseband_frames(n_frames=1)[0]
+        assert abs(int(np.argmax(np.abs(frame))) - CFG.range_to_bin(range_m)) <= 1
+
+    @given(
+        displacement_mm=st.floats(-3.0, 3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_phase_modulation_linear_in_displacement(self, displacement_mm):
+        d = displacement_mm * 1e-3
+        ch = MultipathChannel(
+            CFG, [PropagationPath("t", 0.5, 1e-4, displacement_m=np.array([0.0, d]))]
+        )
+        frames = ch.baseband_frames()
+        b = CFG.range_to_bin(0.5)
+        measured = np.angle(frames[1, b] / frames[0, b])
+        expected = phase_change(CFG.carrier_hz, d)
+        # Compare on the circle (±π wrap).
+        delta = np.angle(np.exp(1j * (measured - expected)))
+        assert abs(delta) < 0.02
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity_in_amplitude(self, scale):
+        p = PropagationPath("t", 0.4, 1e-4)
+        base = MultipathChannel(CFG, [p]).baseband_frames(n_frames=1)[0]
+        scaled_path = PropagationPath("t", 0.4, 1e-4 * scale)
+        scaled = MultipathChannel(CFG, [scaled_path]).baseband_frames(n_frames=1)[0]
+        assert np.allclose(scaled, base * scale, rtol=1e-9)
+
+    @given(
+        r1=st.floats(0.15, 1.2),
+        r2=st.floats(0.15, 1.2),
+        a1=st.floats(1e-5, 1e-3),
+        a2=st.floats(1e-5, 1e-3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_superposition_any_two_paths(self, r1, r2, a1, a2):
+        pa, pb = PropagationPath("a", r1, a1), PropagationPath("b", r2, a2)
+        both = MultipathChannel(CFG, [pa, pb]).baseband_frames(n_frames=1)[0]
+        one = MultipathChannel(CFG, [pa]).baseband_frames(n_frames=1)[0]
+        two = MultipathChannel(CFG, [pb]).baseband_frames(n_frames=1)[0]
+        assert np.allclose(both, one + two, rtol=1e-12, atol=1e-18)
+
+
+class TestRadarEquationProperties:
+    @given(
+        r=st.floats(0.1, 2.0),
+        k=st.floats(1.1, 4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_range(self, r, k):
+        near = radar_equation_amplitude(1.0, 7.3e9, r, 1e-4)
+        far = radar_equation_amplitude(1.0, 7.3e9, r * k, 1e-4)
+        assert near > far
+        assert near / far == pytest.approx(k**2, rel=1e-9)
+
+    @given(f=st.floats(1e9, 60e9))
+    @settings(max_examples=20, deadline=None)
+    def test_amplitude_scales_with_wavelength(self, f):
+        a = radar_equation_amplitude(1.0, f, 0.4, 1e-4)
+        b = radar_equation_amplitude(1.0, 2 * f, 0.4, 1e-4)
+        assert a / b == pytest.approx(2.0, rel=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for repro.rf.config and repro.rf.constants."""
+
+import numpy as np
+import pytest
+
+from repro.rf.config import RadarConfig
+from repro.rf.constants import (
+    SPEED_OF_LIGHT,
+    db_to_linear,
+    linear_to_db,
+    phase_change,
+    range_resolution,
+    wavelength,
+)
+
+
+class TestConstants:
+    def test_wavelength_at_carrier(self):
+        assert wavelength(7.3e9) == pytest.approx(0.04107, rel=1e-3)
+
+    def test_range_resolution_paper_bandwidth(self):
+        # c/2B for 1.4 GHz = 10.7 cm (not the paper's misprinted 1.07 cm).
+        assert range_resolution(1.4e9) == pytest.approx(0.1071, rel=1e-3)
+
+    def test_db_roundtrip(self):
+        assert linear_to_db(db_to_linear(-10.0)) == pytest.approx(-10.0)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_phase_change_eq9(self):
+        # Δφ = −4π f0 Δd / c: 1 mm at 7.3 GHz ≈ −0.306 rad.
+        assert phase_change(7.3e9, 1e-3) == pytest.approx(-0.3059, rel=1e-3)
+
+    def test_phase_change_sign(self):
+        # Moving away (positive Δd) retards the phase.
+        assert phase_change(7.3e9, 1e-3) < 0
+        assert phase_change(7.3e9, -1e-3) > 0
+
+    def test_wavelength_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestRadarConfig:
+    def test_paper_defaults(self):
+        cfg = RadarConfig()
+        assert cfg.carrier_hz == 7.3e9
+        assert cfg.bandwidth_hz == 1.4e9
+        assert cfg.frame_period_s == pytest.approx(0.040)  # the "40mm" typo
+
+    def test_bin_spacing_from_sampler(self):
+        cfg = RadarConfig()
+        assert cfg.bin_spacing_m == pytest.approx(
+            SPEED_OF_LIGHT / (2 * 23.328e9), rel=1e-9
+        )
+
+    def test_n_bins_covers_max_range(self):
+        cfg = RadarConfig()
+        assert cfg.n_bins * cfg.bin_spacing_m >= cfg.max_range_m
+
+    def test_bin_roundtrip(self):
+        cfg = RadarConfig()
+        for r in (0.2, 0.4, 0.8, 1.2):
+            b = cfg.range_to_bin(r)
+            assert abs(cfg.bin_to_range(b) - r) <= cfg.bin_spacing_m / 2
+
+    def test_bin_ranges_monotone(self):
+        cfg = RadarConfig()
+        assert np.all(np.diff(cfg.bin_ranges_m) > 0)
+        assert len(cfg.bin_ranges_m) == cfg.n_bins
+
+    def test_resolution_much_coarser_than_spacing(self):
+        cfg = RadarConfig()
+        assert cfg.range_resolution_m > 10 * cfg.bin_spacing_m
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            RadarConfig().range_to_bin(-0.1)
+        with pytest.raises(ValueError):
+            RadarConfig().bin_to_range(-1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("carrier_hz", 0), ("bandwidth_hz", -1), ("frame_rate_hz", 0),
+        ("fast_time_rate_hz", 0), ("max_range_m", 0), ("tx_amplitude", 0),
+        ("noise_sigma", -1e-9),
+    ])
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ValueError):
+            RadarConfig(**{field: value})
+
+    def test_bandwidth_vs_carrier_sanity(self):
+        with pytest.raises(ValueError):
+            RadarConfig(carrier_hz=1e9, bandwidth_hz=3e9)

@@ -1,0 +1,90 @@
+"""Tests for repro.rf.geometry and repro.rf.materials."""
+
+import pytest
+
+from repro.rf.geometry import AntennaPattern, SensorPose, aspect_gain
+from repro.rf.materials import LENS_TRANSMISSION, MATERIALS, Material, get_material
+
+
+class TestAntennaPattern:
+    def test_boresight_unity(self):
+        assert AntennaPattern().gain(0, 0) == pytest.approx(1.0)
+
+    def test_half_power_at_hpbw(self):
+        ant = AntennaPattern(hpbw_azimuth_deg=65.0)
+        assert ant.gain(32.5, 0) == pytest.approx(0.5, rel=1e-6)
+
+    def test_monotone_decrease(self):
+        ant = AntennaPattern()
+        gains = [ant.gain(a, 0) for a in (0, 15, 30, 45, 60)]
+        assert all(a > b for a, b in zip(gains, gains[1:]))
+
+    def test_two_way_is_square(self):
+        ant = AntennaPattern()
+        assert ant.two_way_gain(20, 10) == pytest.approx(ant.gain(20, 10) ** 2)
+
+    def test_separable_planes(self):
+        ant = AntennaPattern()
+        assert ant.gain(20, 30) == pytest.approx(ant.gain(20, 0) * ant.gain(0, 30))
+
+    def test_rejects_bad_beamwidth(self):
+        with pytest.raises(ValueError):
+            AntennaPattern(hpbw_azimuth_deg=0)
+
+
+class TestAspectGain:
+    def test_normal_incidence_unity(self):
+        assert aspect_gain(0, 0) == pytest.approx(1.0)
+
+    def test_azimuth_sharper_than_elevation(self):
+        # The eye-socket geometry shadows azimuth faster (Fig. 15(c) vs (d)).
+        assert aspect_gain(30, 0) < aspect_gain(0, 30)
+
+    def test_steep_loss_past_30(self):
+        assert aspect_gain(45, 0) < 0.1
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            aspect_gain(0, 0, azimuth_width_deg=0)
+
+
+class TestSensorPose:
+    def test_paper_default(self):
+        pose = SensorPose()
+        assert pose.distance_m == pytest.approx(0.4)
+
+    def test_invalid_poses(self):
+        with pytest.raises(ValueError):
+            SensorPose(distance_m=0)
+        with pytest.raises(ValueError):
+            SensorPose(azimuth_deg=90)
+        with pytest.raises(ValueError):
+            SensorPose(elevation_deg=-5)
+
+
+class TestMaterials:
+    def test_blink_contrast_sign(self):
+        # Paper Sec. IV-C / Fig. 9: the open eye returns MORE than the
+        # eyelid, so closing shrinks the amplitude.
+        assert MATERIALS["eyeball"].reflectivity > MATERIALS["eyelid_skin"].reflectivity
+
+    def test_metal_strongest(self):
+        assert MATERIALS["metal"].reflectivity == max(
+            m.reflectivity for m in MATERIALS.values()
+        )
+
+    def test_all_reflectivities_valid(self):
+        for m in MATERIALS.values():
+            assert 0.0 <= m.reflectivity <= 1.0
+
+    def test_lens_ordering(self):
+        # Fig. 16(a): sunglasses attenuate a bit more than myopia lenses.
+        assert LENS_TRANSMISSION["none"] > LENS_TRANSMISSION["myopia"] > LENS_TRANSMISSION["sunglasses"]
+
+    def test_get_material_error_message(self):
+        with pytest.raises(KeyError, match="known materials"):
+            get_material("vibranium")
+
+    def test_material_validation(self):
+        with pytest.raises(ValueError):
+            Material("bad", 1.5)

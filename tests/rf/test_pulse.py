@@ -1,0 +1,73 @@
+"""Tests for repro.rf.pulse (paper Eq. 1–3, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.pulse import GaussianPulse, bandwidth_from_sigma, sigma_from_bandwidth
+
+
+class TestSigmaBandwidth:
+    def test_paper_values(self):
+        # B = 1.4 GHz → σ ≈ 0.345 ns.
+        assert sigma_from_bandwidth(1.4e9) == pytest.approx(0.345e-9, rel=0.01)
+
+    def test_roundtrip(self):
+        for bw in (0.5e9, 1.4e9, 2.0e9):
+            assert bandwidth_from_sigma(sigma_from_bandwidth(bw)) == pytest.approx(bw)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sigma_from_bandwidth(0.0)
+        with pytest.raises(ValueError):
+            bandwidth_from_sigma(-1.0)
+
+
+class TestGaussianPulse:
+    def test_envelope_peak_at_center(self):
+        p = GaussianPulse()
+        t = np.linspace(0, p.duration_s, 1001)
+        env = p.envelope(t)
+        assert t[np.argmax(env)] == pytest.approx(p.duration_s / 2, rel=1e-3)
+        assert env.max() == pytest.approx(p.amplitude)
+
+    def test_envelope_negligible_at_edges(self):
+        p = GaussianPulse()
+        assert p.envelope(np.array([0.0]))[0] < 1e-3 * p.amplitude
+
+    def test_measured_bandwidth_matches_design(self):
+        p = GaussianPulse(carrier_hz=7.3e9, bandwidth_hz=1.4e9)
+        measured = p.measured_bandwidth_10db(60e9)
+        assert measured == pytest.approx(1.4e9, rel=0.02)
+
+    def test_spectrum_centred_on_carrier(self):
+        p = GaussianPulse()
+        freqs, amp = p.spectrum(60e9)
+        assert freqs[np.argmax(amp)] == pytest.approx(7.3e9, rel=0.02)
+
+    def test_waveform_nyquist_enforced(self):
+        p = GaussianPulse()
+        with pytest.raises(ValueError):
+            p.waveform(10e9)  # far below 2*(7.3+0.7) GHz
+
+    def test_waveform_amplitude_bounded(self):
+        p = GaussianPulse(amplitude=2.0)
+        _, x = p.waveform(60e9)
+        assert np.abs(x).max() <= 2.0 + 1e-9
+
+    def test_envelope_centered_symmetry(self):
+        p = GaussianPulse()
+        t = np.linspace(-1e-9, 1e-9, 201)
+        env = p.envelope_centered(t)
+        assert np.allclose(env, env[::-1])
+
+    @pytest.mark.parametrize("kwargs", [
+        {"carrier_hz": 0}, {"bandwidth_hz": -1}, {"amplitude": 0}, {"duration_sigmas": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GaussianPulse(**kwargs)
+
+    def test_duration_scales_with_sigmas(self):
+        short = GaussianPulse(duration_sigmas=4.0)
+        long = GaussianPulse(duration_sigmas=8.0)
+        assert long.duration_s == pytest.approx(2 * short.duration_s)

@@ -1,0 +1,53 @@
+"""Tests for repro.rf.radar."""
+
+import numpy as np
+import pytest
+
+from repro.rf.channel import MultipathChannel, PropagationPath
+from repro.rf.config import RadarConfig
+from repro.rf.radar import FrameBatch, UwbRadar
+
+
+@pytest.fixture()
+def radar():
+    cfg = RadarConfig()
+    r = UwbRadar(config=cfg)
+    r.attach_channel(MultipathChannel(cfg, [PropagationPath("t", 0.4, 1e-4)]))
+    return r
+
+
+class TestUwbRadar:
+    def test_capture_shapes(self, radar):
+        batch = radar.capture(n_frames=10)
+        assert batch.n_frames == 10
+        assert batch.n_bins == radar.config.n_bins
+
+    def test_timestamps_at_frame_period(self, radar):
+        batch = radar.capture(n_frames=5)
+        assert np.allclose(np.diff(batch.timestamps_s), radar.config.frame_period_s)
+
+    def test_capture_without_channel(self):
+        with pytest.raises(RuntimeError):
+            UwbRadar().capture(n_frames=1)
+
+    def test_channel_config_mismatch_rejected(self):
+        r = UwbRadar(config=RadarConfig())
+        other = MultipathChannel(
+            RadarConfig(max_range_m=2.0), [PropagationPath("t", 0.4, 1e-4)]
+        )
+        with pytest.raises(ValueError):
+            r.attach_channel(other)
+
+    def test_stream_chunks_cover_capture(self, radar):
+        chunks = list(radar.stream(n_frames=10, chunk=3))
+        assert [c.n_frames for c in chunks] == [3, 3, 3, 1]
+        total = np.concatenate([c.frames for c in chunks])
+        assert total.shape[0] == 10
+
+    def test_stream_rejects_bad_chunk(self, radar):
+        with pytest.raises(ValueError):
+            list(radar.stream(n_frames=5, chunk=0))
+
+    def test_framebatch_validation(self):
+        with pytest.raises(ValueError):
+            FrameBatch(timestamps_s=np.zeros(2), frames=np.zeros((3, 4)))

@@ -1,0 +1,103 @@
+"""Tests for repro.rf.regulatory (FCC mask, derivative pulses)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.pulse import GaussianPulse
+from repro.rf.regulatory import (
+    FCC_INDOOR_MASK,
+    GaussianDerivativePulse,
+    check_mask_compliance,
+    mask_limit_dbm_mhz,
+)
+
+
+class TestMask:
+    def test_in_band_limit(self):
+        assert mask_limit_dbm_mhz(7.3e9) == pytest.approx(-41.3)
+
+    def test_gps_band_strictest(self):
+        assert mask_limit_dbm_mhz(1.2e9) == pytest.approx(-75.3)
+        assert mask_limit_dbm_mhz(1.2e9) == min(
+            limit for _, _, limit in FCC_INDOOR_MASK
+        )
+
+    def test_mask_piecewise_continuous_coverage(self):
+        # Every frequency maps to exactly one segment.
+        for f in (0, 0.5e9, 1e9, 1.8e9, 2.5e9, 5e9, 12e9, 100e9):
+            assert isinstance(mask_limit_dbm_mhz(f), float)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            mask_limit_dbm_mhz(-1.0)
+
+
+class TestCompliance:
+    def test_papers_signal_is_compliant(self):
+        # 7.3 GHz carrier, 1.4 GHz bandwidth: inside 3.1-10.6 GHz with
+        # steep Gaussian skirts — compliant by design.
+        pulse = GaussianPulse()
+        _, x = pulse.waveform(60e9)
+        report = check_mask_compliance(x, 60e9)
+        assert report.compliant
+        assert report.worst_margin_db >= 0
+
+    def test_low_carrier_violates_gps_band(self):
+        # A pulse centred near 1.2 GHz slams into the -75.3 dBm/MHz band.
+        pulse = GaussianPulse(carrier_hz=1.2e9, bandwidth_hz=0.5e9)
+        _, x = pulse.waveform(60e9)
+        report = check_mask_compliance(x, 60e9)
+        assert not report.compliant
+        assert report.worst_frequency_hz < 3.1e9
+
+    def test_sample_rate_must_cover_band(self):
+        with pytest.raises(ValueError):
+            check_mask_compliance(np.ones(64), 1e9)
+
+    def test_short_waveform_rejected(self):
+        with pytest.raises(ValueError):
+            check_mask_compliance(np.ones(4), 60e9)
+
+
+class TestGaussianDerivativePulse:
+    def test_no_dc_component(self):
+        _, x = GaussianDerivativePulse(order=5).waveform(60e9)
+        assert abs(np.sum(x)) < 1e-6 * np.abs(x).sum()
+
+    def test_peak_frequency_scales_with_order(self):
+        sigma = GaussianDerivativePulse().sigma_s
+        for order in (1, 4, 9):
+            pulse = GaussianDerivativePulse(order=order, sigma_s=sigma)
+            _, x = pulse.waveform(60e9)
+            spectrum = np.abs(np.fft.rfft(x, n=1 << 16))
+            freqs = np.fft.rfftfreq(1 << 16, d=1 / 60e9)
+            measured = freqs[np.argmax(spectrum)]
+            assert measured == pytest.approx(pulse.peak_frequency_hz, rel=0.05)
+
+    def test_higher_order_moves_energy_up(self):
+        sigma = 0.05e-9
+        low = GaussianDerivativePulse(order=2, sigma_s=sigma)
+        high = GaussianDerivativePulse(order=10, sigma_s=sigma)
+        assert high.peak_frequency_hz > 2 * low.peak_frequency_hz
+
+    def test_unit_peak(self):
+        _, x = GaussianDerivativePulse(order=3, amplitude=2.5).waveform(60e9)
+        assert np.abs(x).max() == pytest.approx(2.5)
+
+    def test_high_order_carrierless_pulse_can_comply(self):
+        # Design a carrierless pulse peaking ~7 GHz via order/sigma and
+        # check the mask: the classic UWB pulse-shaping exercise.
+        order = 9
+        sigma = np.sqrt(order) / (2 * np.pi * 7e9)
+        pulse = GaussianDerivativePulse(order=order, sigma_s=sigma)
+        _, x = pulse.waveform(60e9)
+        report = check_mask_compliance(x, 60e9)
+        assert report.compliant
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            GaussianDerivativePulse(order=0)
+
+    def test_bad_sample_rate(self):
+        with pytest.raises(ValueError):
+            GaussianDerivativePulse().waveform(0.0)

@@ -1,0 +1,144 @@
+"""Tests for repro.sim (scenario, simulator, trace)."""
+
+import numpy as np
+import pytest
+
+from repro.physio import ParticipantProfile
+from repro.rf.geometry import SensorPose
+from repro.sim import RadarTrace, Scenario, simulate
+from repro.sim.simulator import ScenarioSimulator
+
+
+def make_scenario(**kwargs):
+    defaults = dict(
+        participant=ParticipantProfile("T"),
+        duration_s=10.0,
+        allow_posture_shifts=False,
+    )
+    defaults.update(kwargs)
+    return Scenario(**defaults)
+
+
+class TestScenario:
+    def test_n_frames(self):
+        assert make_scenario(duration_s=10.0).n_frames == 250
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            make_scenario(state="tired")
+
+    def test_invalid_road(self):
+        with pytest.raises(KeyError, match="unknown road"):
+            make_scenario(road="dirt")
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            make_scenario(duration_s=0)
+
+    def test_vehicle_uses_road(self):
+        sc = make_scenario(road="bumpy")
+        assert sc.vehicle().road.name == "bumpy"
+
+
+class TestSimulator:
+    def test_trace_shape(self):
+        tr = simulate(make_scenario(), seed=0)
+        assert tr.frames.shape == (250, tr.n_bins)
+        assert tr.frame_rate_hz == 25.0
+
+    def test_deterministic_with_seed(self):
+        a = simulate(make_scenario(), seed=5)
+        b = simulate(make_scenario(), seed=5)
+        assert np.array_equal(a.frames, b.frames)
+        assert a.blink_times_s.tolist() == b.blink_times_s.tolist()
+
+    def test_different_seeds_differ(self):
+        a = simulate(make_scenario(), seed=1)
+        b = simulate(make_scenario(), seed=2)
+        assert not np.allclose(a.frames, b.frames)
+
+    def test_eye_bin_matches_pose(self):
+        sc = make_scenario(pose=SensorPose(distance_m=0.6))
+        tr = simulate(sc, seed=0)
+        assert tr.eye_bin == sc.radar.range_to_bin(0.6)
+
+    def test_blink_ground_truth_present(self):
+        tr = simulate(make_scenario(duration_s=30.0), seed=3)
+        assert len(tr.blink_events) >= 4  # ~19/min nominal
+
+    def test_metadata_populated(self):
+        tr = simulate(make_scenario(road="bumpy"), seed=0)
+        assert tr.metadata["road"] == "bumpy"
+        assert tr.metadata["distance_m"] == pytest.approx(0.4)
+
+    def test_eye_blink_modulates_eye_bin(self):
+        # The eye bin's amplitude must dip while the eye is closed.
+        sc = make_scenario(duration_s=30.0)
+        tr = simulate(sc, seed=4)
+        amp = np.abs(tr.frames[:, tr.eye_bin])
+        for e in tr.blink_events:
+            if e.start_s < 2 or e.end_s > 29:
+                continue
+            mid = int(e.center_s * 25)
+            before = amp[int(e.start_s * 25) - 8 : int(e.start_s * 25) - 2].mean()
+            during = amp[mid - 1 : mid + 2].mean()
+            assert during != pytest.approx(before, rel=1e-4)
+
+    def test_glasses_attenuate_eye_return(self):
+        base = make_scenario()
+        shaded = make_scenario(
+            participant=ParticipantProfile("S", glasses="sunglasses")
+        )
+        amp_plain = ScenarioSimulator(base)._eye_amplitude()
+        amp_shade = ScenarioSimulator(shaded)._eye_amplitude()
+        assert amp_shade < amp_plain
+
+    def test_distance_reduces_amplitude(self):
+        near = ScenarioSimulator(make_scenario(pose=SensorPose(distance_m=0.2)))
+        far = ScenarioSimulator(make_scenario(pose=SensorPose(distance_m=0.8)))
+        assert near._eye_amplitude() / far._eye_amplitude() == pytest.approx(16.0, rel=0.05)
+
+    def test_angle_reduces_amplitude(self):
+        on = ScenarioSimulator(make_scenario())
+        off = ScenarioSimulator(make_scenario(pose=SensorPose(azimuth_deg=45.0)))
+        assert off._eye_amplitude() < 0.2 * on._eye_amplitude()
+
+
+class TestRadarTrace:
+    def test_roundtrip_npz(self, tmp_path):
+        tr = simulate(make_scenario(duration_s=5.0), seed=0)
+        path = tmp_path / "trace.npz"
+        tr.save(path)
+        loaded = RadarTrace.load(path)
+        assert np.array_equal(loaded.frames, tr.frames)
+        assert loaded.frame_rate_hz == tr.frame_rate_hz
+        assert loaded.eye_bin == tr.eye_bin
+        assert loaded.state == tr.state
+        assert loaded.metadata == tr.metadata
+        assert [e.start_s for e in loaded.blink_events] == [
+            e.start_s for e in tr.blink_events
+        ]
+
+    def test_blink_rate(self):
+        tr = simulate(make_scenario(duration_s=60.0), seed=1)
+        assert tr.blink_rate_per_min() == pytest.approx(len(tr.blink_events), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadarTrace(
+                frames=np.zeros((3, 4)),
+                timestamps_s=np.zeros(2),
+                frame_rate_hz=25.0,
+                blink_events=[],
+            )
+        with pytest.raises(ValueError):
+            RadarTrace(
+                frames=np.zeros(4),
+                timestamps_s=np.zeros(4),
+                frame_rate_hz=25.0,
+                blink_events=[],
+            )
+
+    def test_duration(self):
+        tr = simulate(make_scenario(duration_s=8.0), seed=0)
+        assert tr.duration_s == pytest.approx(8.0)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "-o", "x.npz"])
+        assert args.road == "smooth_highway"
+        assert args.state == "awake"
+
+    def test_bad_road_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--road", "moon", "-o", "x.npz"])
+
+    def test_sweep_choices(self):
+        args = build_parser().parse_args(["sweep", "distance", "--seeds", "1"])
+        assert args.which == "distance" and args.seeds == [1]
+
+
+class TestCommands:
+    def test_simulate_then_detect(self, tmp_path, capsys):
+        out = tmp_path / "drive.npz"
+        rc = main([
+            "simulate", "--duration", "30", "--seed", "3",
+            "--road", "parked", "-o", str(out),
+        ])
+        assert rc == 0 and out.exists()
+        captured = capsys.readouterr().out
+        assert "wrote" in captured and "blinks" in captured
+
+        rc = main(["detect", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "accuracy" in captured
+
+    def test_vitals_command(self, tmp_path, capsys):
+        out = tmp_path / "drive.npz"
+        main(["simulate", "--duration", "30", "--seed", "4", "-o", str(out)])
+        capsys.readouterr()
+        rc = main(["vitals", str(out)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "respiration" in captured and "heart rate" in captured
+
+    @pytest.mark.slow
+    def test_sweep_command(self, capsys):
+        rc = main(["sweep", "distance", "--seeds", "1", "--duration", "30"])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "0.400" in captured  # the 40 cm row
+
+
+class TestGenerators:
+    def test_corpus_roundtrip(self, tmp_path):
+        from repro.datasets.generators import generate_study_corpus, load_manifest
+        from repro.datasets.participants import study_participants
+
+        specs = generate_study_corpus(
+            tmp_path, seeds=(7,), duration_s=10.0,
+            participants=study_participants()[:2],
+        )
+        assert len(specs) == 4  # 2 participants x 2 states x 1 road x 1 seed
+        loaded = load_manifest(tmp_path)
+        assert len(loaded) == 4
+        spec, trace = loaded[0]
+        assert trace.state == spec.state
+        assert trace.duration_s == pytest.approx(10.0)
+
+    def test_cache_reuse(self, tmp_path):
+        from repro.datasets.generators import generate_study_corpus
+        from repro.datasets.participants import study_participants
+
+        participants = study_participants()[:1]
+        generate_study_corpus(tmp_path, seeds=(7,), duration_s=5.0,
+                              participants=participants)
+        first = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")}
+        generate_study_corpus(tmp_path, seeds=(7,), duration_s=5.0,
+                              participants=participants)
+        second = {p.name: p.stat().st_mtime_ns for p in tmp_path.glob("*.npz")}
+        assert first == second  # untouched on the second call
+
+    def test_missing_manifest(self, tmp_path):
+        from repro.datasets.generators import load_manifest
+
+        with pytest.raises(FileNotFoundError):
+            load_manifest(tmp_path)
+
+
+class TestCsvExport:
+    @pytest.mark.slow
+    def test_sweep_with_csv(self, tmp_path, capsys):
+        out = tmp_path / "series.csv"
+        rc = main(["sweep", "glasses", "--seeds", "1", "--duration", "30",
+                   "--csv", str(out)])
+        assert rc == 0 and out.exists()
+        from repro.eval.export import load_series
+
+        series = load_series(out)
+        assert set(series) == {"none", "myopia", "sunglasses"}

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose a ``main``; the quickstart is
+additionally executed end to end (the others take minutes and are
+exercised implicitly by the unit/benchmark suites covering the same
+APIs).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart" in EXAMPLES
+        assert len(EXAMPLES) >= 5  # the deliverable: >= 3 runnable examples
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+
+    @pytest.mark.slow
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "detected" in out

@@ -1,0 +1,41 @@
+"""Tests for the EXPERIMENTS.md assembler tool."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).parent.parent / "tools" / "build_experiments_md.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("build_experiments_md", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestAssembler:
+    def test_parse_blocks(self):
+        tool = load_tool()
+        text = "Title A\n-----\nrow 1\n\nTitle B\n-----\nrow 2\n"
+        blocks = tool.parse_blocks(text)
+        assert [t for t, _ in blocks] == ["Title A", "Title B"]
+        assert "row 2" in blocks[1][1]
+
+    def test_sections_reference_unique_prefixes(self):
+        tool = load_tool()
+        prefixes = [p for p, _, _ in tool.SECTIONS]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_every_section_prefix_has_a_benchmark(self):
+        # Every prefix must correspond to a print_block title emitted by
+        # some benchmark (checked textually against the bench sources).
+        tool = load_tool()
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        source = "\n".join(p.read_text() for p in bench_dir.glob("test_*.py"))
+        for prefix, _, _ in tool.SECTIONS:
+            # The title string appears (possibly formatted) in some file.
+            head = prefix.split(":")[0].split(" — ")[0]
+            assert head.split("(")[0].strip()[:8] in source, prefix

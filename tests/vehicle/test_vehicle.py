@@ -1,0 +1,135 @@
+"""Tests for repro.vehicle (road catalogue, vibration, cabin, vehicle)."""
+
+import numpy as np
+import pytest
+
+from repro.vehicle.cabin import CabinGeometry, CabinReflector, default_cabin
+from repro.vehicle.road import PARKED, ROAD_GROUPS, ROAD_TYPES, RoadCondition, get_road
+from repro.vehicle.vehicle import VehicleModel
+from repro.vehicle.vibration import VibrationModel
+
+
+class TestRoadCatalogue:
+    def test_all_nine_paper_conditions_present(self):
+        expected = {
+            "smooth_highway", "bumpy", "uphill", "downhill", "intersection",
+            "left_turn", "right_turn", "roundabout", "u_turn",
+        }
+        assert expected <= set(ROAD_TYPES)
+
+    def test_parked_is_quiet(self):
+        assert PARKED.vibration_rms_m == 0.0
+        assert PARKED.maneuver_rate_hz == 0.0
+
+    def test_bumpy_roughest(self):
+        driving = [c for n, c in ROAD_TYPES.items() if n != "parked"]
+        assert ROAD_TYPES["bumpy"].vibration_rms_m == max(
+            c.vibration_rms_m for c in driving
+        )
+
+    def test_groups_cover_increasing_difficulty(self):
+        # Group severity (vibration + maneuvers) must increase 1 → 4.
+        def severity(group):
+            conds = [ROAD_TYPES[n] for n in ROAD_GROUPS[group]]
+            return np.mean([
+                c.vibration_rms_m + c.maneuver_rate_hz * c.maneuver_amplitude_m
+                for c in conds
+            ])
+        sevs = [severity(g) for g in sorted(ROAD_GROUPS)]
+        assert all(a < b for a, b in zip(sevs, sevs[1:]))
+
+    def test_groups_reference_known_roads(self):
+        for names in ROAD_GROUPS.values():
+            for name in names:
+                assert name in ROAD_TYPES
+
+    def test_get_road_error(self):
+        with pytest.raises(KeyError, match="known"):
+            get_road("gravel")
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RoadCondition("bad", -1e-4, 0, 0, 0)
+
+
+class TestVibration:
+    def test_parked_silent(self, rng):
+        d = VibrationModel(PARKED).displacement(1000, 25.0, rng)
+        assert np.all(d == 0)
+
+    def test_rms_matches_condition(self, rng):
+        cond = ROAD_TYPES["smooth_highway"]
+        quiet = RoadCondition("t", cond.vibration_rms_m, 0, 0, 0)
+        d = VibrationModel(quiet).displacement(20000, 25.0, rng)
+        assert np.sqrt(np.mean(d**2)) == pytest.approx(cond.vibration_rms_m, rel=0.1)
+
+    def test_bumpy_rougher_than_smooth(self, rng):
+        smooth = VibrationModel(ROAD_TYPES["smooth_highway"]).displacement(
+            5000, 25.0, np.random.default_rng(1)
+        )
+        bumpy = VibrationModel(ROAD_TYPES["bumpy"]).displacement(
+            5000, 25.0, np.random.default_rng(1)
+        )
+        assert np.std(bumpy) > 2 * np.std(smooth)
+
+    def test_bumps_create_transients(self, rng):
+        cond = RoadCondition("t", 0, bump_rate_hz=0.5, maneuver_rate_hz=0,
+                             maneuver_amplitude_m=0)
+        d = VibrationModel(cond).displacement(5000, 25.0, rng)
+        assert np.abs(d).max() > 1e-3  # mm-scale pulses present
+
+    def test_band_edges_validated(self):
+        with pytest.raises(ValueError):
+            VibrationModel(PARKED, band_low_hz=5.0, band_high_hz=1.0)
+
+    def test_band_above_nyquist_rejected(self, rng):
+        vm = VibrationModel(ROAD_TYPES["smooth_highway"], band_high_hz=20.0)
+        with pytest.raises(ValueError):
+            vm.displacement(100, 25.0, rng)
+
+    def test_zero_frames_rejected(self, rng):
+        with pytest.raises(ValueError):
+            VibrationModel(PARKED).displacement(0, 25.0, rng)
+
+
+class TestCabin:
+    def test_default_cabin_has_paper_reflectors(self):
+        names = {r.name for r in default_cabin().reflectors}
+        assert {"steering_wheel", "seat_back", "dashboard"} <= names
+
+    def test_relative_ranges_resolve(self):
+        cabin = default_cabin()
+        resolved = dict()
+        for reflector, rng_m in cabin.resolved(0.4):
+            resolved[reflector.name] = rng_m
+        assert resolved["steering_wheel"] == pytest.approx(0.26)
+        assert resolved["headrest"] == pytest.approx(0.62)
+
+    def test_reflectors_behind_driver_scale_with_distance(self):
+        cabin = default_cabin()
+        near = dict((r.name, rm) for r, rm in cabin.resolved(0.2))
+        far = dict((r.name, rm) for r, rm in cabin.resolved(0.8))
+        assert far["seat_back"] - near["seat_back"] == pytest.approx(0.6)
+        assert far["steering_wheel"] == near["steering_wheel"]
+
+    def test_unknown_material_rejected(self):
+        with pytest.raises(KeyError):
+            CabinReflector("x", 0.3, "unobtanium", 1e-2)
+
+    def test_nonpositive_resolution_rejected(self):
+        r = CabinReflector("x", -0.5, "metal", 1e-2, relative_to_driver=True)
+        with pytest.raises(ValueError):
+            r.absolute_range_m(0.3)
+
+
+class TestVehicleModel:
+    def test_clutter_motion_much_smaller_than_body(self, rng):
+        vm = VehicleModel(road=ROAD_TYPES["bumpy"])
+        body = vm.vibration(2000, 25.0, rng)
+        clutter = vm.clutter_vibration(body)
+        assert np.abs(clutter).max() < 0.05 * np.abs(body).max()
+
+    def test_coupling_validated(self):
+        vm = VehicleModel()
+        with pytest.raises(ValueError):
+            vm.clutter_vibration(np.zeros(5), coupling=1.5)
