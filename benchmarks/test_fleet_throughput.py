@@ -1,0 +1,90 @@
+"""Fleet throughput — how many vehicles one host can serve.
+
+Not a paper figure: this benchmark sizes the ``repro.fleet`` service.
+The same 10 s world is registered 1, 4 and 16 times and pumped through
+the shared worker pool as fast as the detectors allow; we record the
+aggregate detection throughput and the queue-to-detector latency
+percentiles at saturation (the pump is unpaced, so latency here measures
+backlog drain, i.e. how far behind a session may fall before the bounded
+queue starts shedding).
+
+The paper's real-time budget is one frame per 40 ms per vehicle
+(25 FPS); the service clears it when aggregate throughput exceeds
+``25 x n_sessions``. Results land in ``BENCH_fleet.json`` so the perf
+trajectory survives across PRs.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.eval.report import format_table
+from repro.fleet import FleetService
+from repro.sim import simulate
+
+BENCH_PATH = Path(__file__).parent / "BENCH_fleet.json"
+FLEET_SIZES = [1, 4, 16]
+WORKERS = 4
+FRAME_RATE_HZ = 25.0
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    return simulate(base_scenario(duration_s=10.0, road="smooth_highway"), seed=55)
+
+
+def run_fleet(trace, n_sessions: int) -> dict:
+    service = FleetService(workers=WORKERS)
+    for k in range(n_sessions):
+        service.add_session(f"v{k:02d}", trace.frames)
+    service.run()
+    snap = service.metrics_snapshot()
+    latency = snap["histograms"]["fleet.latency_s"]
+    frames = snap["counters"]["fleet.frames_processed"]
+    assert frames == n_sessions * trace.n_frames  # lossless at default depth
+    return {
+        "sessions": n_sessions,
+        "workers": WORKERS,
+        "frames": frames,
+        "wall_s": snap["gauges"]["fleet.wall_s"],
+        "throughput_fps": snap["gauges"]["fleet.throughput_fps"],
+        "latency_p50_s": latency["p50"],
+        "latency_p95_s": latency["p95"],
+        "latency_p99_s": latency["p99"],
+    }
+
+
+@pytest.mark.slow
+def test_fleet_throughput(shared_trace):
+    results = [run_fleet(shared_trace, n) for n in FLEET_SIZES]
+
+    rows = [
+        [
+            r["sessions"],
+            r["frames"],
+            f"{r['wall_s']:.2f}",
+            f"{r['throughput_fps']:.0f}",
+            f"{r['throughput_fps'] / (FRAME_RATE_HZ * r['sessions']):.1f}x",
+            f"{r['latency_p95_s'] * 1e3:.0f}",
+        ]
+        for r in results
+    ]
+    print_block(
+        format_table(
+            f"Fleet throughput ({WORKERS} workers, 10 s world per session)",
+            ["sessions", "frames", "wall s", "frames/s", "real-time", "p95 ms"],
+            rows,
+        )
+    )
+
+    BENCH_PATH.write_text(json.dumps({"workers": WORKERS, "results": results}, indent=2))
+
+    # Shape, not absolute numbers: every fleet size must beat its own
+    # real-time budget (25 FPS per vehicle), and concurrent sessions must
+    # actually use the pool — 16 sessions keep more workers busy than 1
+    # (per-session FIFO order caps a single session at one worker).
+    for r in results:
+        assert r["throughput_fps"] > FRAME_RATE_HZ * r["sessions"]
+    assert results[-1]["throughput_fps"] > 1.3 * results[0]["throughput_fps"]

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 - ``simulate``  — render a scenario to a labelled ``.npz`` trace.
 - ``detect``    — run the BlinkRadar pipeline over a saved trace and score
   it against the embedded ground truth.
 - ``vitals``    — respiration + heart rate from a saved trace.
 - ``sweep``     — one of the paper's parameter sweeps, printed as a table.
+- ``fleet``     — run many concurrent detector sessions (optionally with
+  injected SPI faults) and print health + metrics.
 
 Examples::
 
@@ -14,6 +16,7 @@ Examples::
     python -m repro detect drive.npz
     python -m repro vitals drive.npz
     python -m repro sweep distance --seeds 1 2 3
+    python -m repro fleet --vehicles 8 --faults 2 --duration 30
 """
 
 from __future__ import annotations
@@ -73,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
     swp.add_argument("--duration", type=float, default=60.0)
     swp.add_argument("--csv", help="also write the series to this .csv/.json path")
+
+    flt = sub.add_parser("fleet", help="concurrent multi-vehicle detection service")
+    flt.add_argument("--vehicles", type=int, default=4, help="number of sessions")
+    flt.add_argument("--duration", type=float, default=30.0, help="seconds per vehicle")
+    flt.add_argument("--road", default="smooth_highway", choices=sorted(ROAD_TYPES))
+    flt.add_argument("--state", default="awake", choices=["awake", "drowsy"])
+    flt.add_argument("--seed", type=int, default=0, help="base seed (vehicle k uses seed+k)")
+    flt.add_argument(
+        "--faults", type=int, default=0,
+        help="inject an SPI fault burst on this many vehicles",
+    )
+    flt.add_argument(
+        "--fault-at", type=float, default=None,
+        help="seconds into the stream to fault (default: 40%% of duration)",
+    )
+    flt.add_argument("--workers", type=int, default=4, help="detector worker threads")
+    flt.add_argument("--queue-depth", type=int, default=4096, help="per-session queue bound")
+    flt.add_argument("--json", help="also write the metrics snapshot to this path")
     return parser
 
 
@@ -160,6 +181,72 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetService, VehicleSpec
+
+    if args.vehicles < 1:
+        raise SystemExit("fleet: need at least one vehicle")
+    if not 0 <= args.faults <= args.vehicles:
+        raise SystemExit(f"fleet: --faults must be in 0..{args.vehicles}")
+    fault_at = args.fault_at if args.fault_at is not None else 0.4 * args.duration
+    service = FleetService(workers=args.workers, queue_depth=args.queue_depth)
+    for k in range(args.vehicles):
+        service.add_vehicle(
+            VehicleSpec(
+                f"v{k:02d}",
+                road=args.road,
+                state=args.state,
+                duration_s=args.duration,
+                seed=args.seed + k,
+                fault_at_s=fault_at if k < args.faults else None,
+            )
+        )
+    service.run()
+
+    rows = [
+        [
+            sid,
+            h["state"],
+            h["frames_processed"],
+            h["blinks"],
+            h["restarts"],
+            h["dropped_fifo"],
+            h["dropped_queue"],
+        ]
+        for sid, h in service.health().items()
+    ]
+    print(
+        format_table(
+            f"Fleet: {args.vehicles} vehicles x {args.duration:.0f} s "
+            f"({args.faults} faulted)",
+            ["session", "state", "frames", "blinks", "restarts", "fifo drops", "q drops"],
+            rows,
+        )
+    )
+    snap = service.metrics_snapshot()
+    latency = snap["histograms"].get("fleet.latency_s", {"count": 0})
+    summary = [
+        ["frames processed", snap["counters"].get("fleet.frames_processed", 0)],
+        ["blinks", snap["counters"].get("fleet.blinks", 0)],
+        ["restarts", snap["counters"].get("fleet.restarts", 0)],
+        ["throughput (frames/s)", f"{snap['gauges'].get('fleet.throughput_fps', 0.0):.0f}"],
+    ]
+    if latency["count"]:
+        summary += [
+            ["latency p50 (ms)", f"{latency['p50'] * 1e3:.2f}"],
+            ["latency p95 (ms)", f"{latency['p95'] * 1e3:.2f}"],
+            ["latency p99 (ms)", f"{latency['p99'] * 1e3:.2f}"],
+        ]
+    print(format_table("Fleet metrics", ["quantity", "value"], summary))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(snap, fh, indent=2, sort_keys=True)
+        print(f"metrics snapshot written to {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -168,6 +255,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "vitals": _cmd_vitals,
         "sweep": _cmd_sweep,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,57 @@
+"""Concurrent multi-vehicle detection service (the fleet layer).
+
+The single-session pipeline (``hardware`` → ``core``) detects one
+driver's blinks; this package runs *many* of those pipelines as a
+supervised, observable service — the host-side orchestration layer a
+deployed BlinkRadar fleet needs:
+
+- :mod:`repro.fleet.session` — :class:`DetectorSession`, a lifecycle
+  state machine (INIT → COLD_START → RUNNING ⇄ DEGRADED → STOPPED) with
+  SPI-fault recovery via chip soft-reset.
+- :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`, a thread-pool
+  pump with bounded per-session queues and drop-oldest backpressure.
+- :mod:`repro.fleet.service` — :class:`FleetService`, spawn/stop/restart,
+  aggregated typed events, health snapshots.
+- :mod:`repro.fleet.events` — the typed event records.
+- :mod:`repro.fleet.metrics` — a dependency-free counters/gauges/
+  histograms registry exporting to a JSON dict.
+- :mod:`repro.fleet.faults` — deterministic SPI fault injection.
+
+See ``docs/fleet.md`` for the architecture and policies.
+"""
+
+from repro.fleet.events import (
+    BlinkEvent,
+    DrowsyAlertEvent,
+    FaultEvent,
+    FleetEvent,
+    FrameDropEvent,
+    RestartEvent,
+    StateChangeEvent,
+)
+from repro.fleet.faults import SpiFaultInjector
+from repro.fleet.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.service import FleetService, VehicleSpec
+from repro.fleet.session import DetectorSession, SessionConfig, SessionState
+
+__all__ = [
+    "BlinkEvent",
+    "Counter",
+    "DetectorSession",
+    "DrowsyAlertEvent",
+    "FaultEvent",
+    "FleetEvent",
+    "FleetScheduler",
+    "FleetService",
+    "FrameDropEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RestartEvent",
+    "SessionConfig",
+    "SessionState",
+    "SpiFaultInjector",
+    "StateChangeEvent",
+    "VehicleSpec",
+]

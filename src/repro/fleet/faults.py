@@ -1,0 +1,63 @@
+"""Deterministic SPI fault injection for fleet testing.
+
+:class:`SpiFaultInjector` sits between the host's :class:`~repro.hardware.spi.SpiBus`
+and the device, playing the role of a marginal wiring harness: at
+scheduled transaction indices it corrupts the master's bytes before the
+device sees them, so the device NAKs on the CRC and the driver raises
+:class:`~repro.hardware.spi.SpiError` — exactly the failure mode a real
+cabin install produces under vibration. Faults are scheduled by
+transaction count, which makes every run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.hardware.spi import SpiSlave
+
+__all__ = ["SpiFaultInjector"]
+
+
+class SpiFaultInjector:
+    """Wire wrapper corrupting bursts of transactions at scheduled points.
+
+    Parameters
+    ----------
+    slave:
+        The real device (or any other :class:`SpiSlave`).
+    fault_at:
+        Transaction indices (1-based, counted on this wire) at which a
+        fault burst begins.
+    burst:
+        Consecutive transactions corrupted per scheduled fault. A burst
+        longer than one exercises the session's retry/backoff path, not
+        just a single transient.
+    """
+
+    def __init__(self, slave: SpiSlave, fault_at: Iterable[int] = (), burst: int = 1) -> None:
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.slave = slave
+        self.burst = burst
+        self._starts = sorted(set(int(k) for k in fault_at))
+        if self._starts and self._starts[0] < 1:
+            raise ValueError("fault_at indices are 1-based transaction counts")
+        self.transactions = 0
+        self.faults_injected = 0
+
+    def _faulty_now(self) -> bool:
+        for start in self._starts:
+            if start <= self.transactions < start + self.burst:
+                return True
+        return False
+
+    def spi_transaction(self, mosi: bytes) -> bytes:
+        """Forward one transaction, corrupting it when a fault is scheduled."""
+        self.transactions += 1
+        if self._faulty_now():
+            self.faults_injected += 1
+            # Flip a bit in the command byte: the CRC no longer matches,
+            # the device NAKs, the master raises SpiError. The register
+            # file is never touched by a corrupted write.
+            mosi = bytes([mosi[0] ^ 0x01]) + mosi[1:]
+        return self.slave.spi_transaction(mosi)

@@ -1,0 +1,202 @@
+"""Dependency-free metrics registry for the fleet service.
+
+Three instrument kinds, modelled on the usual production trio:
+
+- :class:`Counter` — monotonically increasing totals (frames processed,
+  drops, restarts).
+- :class:`Gauge` — last-written values (queue depth, session state).
+- :class:`Histogram` — streaming distributions (per-frame latency). The
+  histogram keeps exact ``count``/``sum``/``min``/``max`` over the full
+  stream and estimates percentiles from a bounded ring of the most
+  recent observations, so memory stays O(window) regardless of how long
+  a session runs.
+
+All instruments hang off a :class:`MetricsRegistry`, are created on
+first use (``registry.counter("x").inc()``), are thread-safe, and
+export to a plain JSON-serialisable dict via :meth:`MetricsRegistry.as_dict`.
+Everything here is standard library only — no client libraries, no
+numpy — so the observability layer can never be the reason the service
+fails to import.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default number of recent observations a histogram keeps for
+#: percentile estimation.
+DEFAULT_HISTOGRAM_WINDOW = 2048
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up; got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, state codes...)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge by ``delta``."""
+        with self._lock:
+            self._value += float(delta)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Streaming distribution with bounded-memory percentile estimates.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    ``percentile`` sorts the retained window (the most recent
+    ``window`` observations), which is the right trade-off for
+    service latencies: recent behaviour is what a health check wants,
+    and the window is large enough that p99 over it is stable.
+    """
+
+    def __init__(self, window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._lock = threading.Lock()
+        self._recent: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._recent.append(value)
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean over all observations (NaN when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) over the retained window (NaN when empty)."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in 0..100, got {q}")
+        with self._lock:
+            if not self._recent:
+                return float("nan")
+            ordered = sorted(self._recent)
+        # Nearest-rank on the retained window.
+        rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict: count, sum, mean, min/max, p50/p95/p99."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0}
+            base = {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "max": self._max,
+            }
+        base.update(
+            p50=self.percentile(50), p95=self.percentile(95), p99=self.percentile(99)
+        )
+        return base
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in one service.
+
+    Names are flat dotted strings (``"session.v03.frames_processed"``);
+    the registry enforces that a name keeps one instrument kind for its
+    lifetime, so a typo cannot silently fork a metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW) -> Histogram:
+        """Histogram registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram, lambda: Histogram(window))
+
+    def as_dict(self) -> dict[str, dict]:
+        """Export every instrument as a JSON-serialisable dict."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in items:
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.snapshot()
+        return out

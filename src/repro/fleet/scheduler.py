@@ -1,0 +1,207 @@
+"""Thread-pool frame scheduler driving N sessions concurrently.
+
+Design
+------
+One **pump** (the thread calling :meth:`FleetScheduler.run`) advances
+every active session one frame period per round — device time stays in
+lockstep across the fleet — and enqueues each produced frame on that
+session's *bounded* queue. A pool of **workers** drains the queues and
+feeds the detectors.
+
+Two invariants make this correct and deterministic per session:
+
+- **Per-session FIFO order.** Frames for one session are processed in
+  production order: each session has its own queue, and a claim flag
+  guarantees at most one worker works a given session at a time.
+- **Explicit backpressure.** When a queue is full the *oldest* frame is
+  dropped (freshest-data-wins, the right policy for a live detector
+  whose cold start already tolerates gaps) and the loss is counted —
+  never silent, never unbounded memory.
+
+The pump never blocks on a slow session; a session's losses stay its
+own. Detector math is numpy-heavy and releases the GIL, so the pool
+buys real concurrency on this workload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.fleet.events import FrameDropEvent
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.session import DetectorSession
+
+__all__ = ["FleetScheduler"]
+
+
+@dataclass
+class _SessionSlot:
+    """Scheduler-side bookkeeping for one session."""
+
+    session: DetectorSession
+    queue: deque = field(default_factory=deque)
+    claimed: bool = False
+    dropped: int = 0
+
+
+class FleetScheduler:
+    """Drive many :class:`DetectorSession` objects through a worker pool.
+
+    Parameters
+    ----------
+    sessions:
+        The fleet. Sessions still in INIT are started on :meth:`run`.
+    workers:
+        Worker threads processing frames (detector side).
+    queue_depth:
+        Per-session queue bound; beyond it the oldest queued frame is
+        dropped and counted. The bound is a *memory cap*, not a rate
+        matcher: an unpaced pump always outruns the detectors, so set
+        the depth below the expected frame count only when load
+        shedding is the intent (the default holds ~2.7 min of 25 FPS
+        frames losslessly).
+    metrics:
+        Shared registry (``session.<id>.dropped_queue``,
+        ``fleet.dropped_queue``, ``fleet.rounds``).
+    pace_s:
+        Optional sleep per round, to pump at real-time cadence instead
+        of as-fast-as-possible.
+    """
+
+    def __init__(
+        self,
+        sessions: list[DetectorSession],
+        workers: int = 4,
+        queue_depth: int = 4096,
+        metrics: MetricsRegistry | None = None,
+        pace_s: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if not sessions:
+            raise ValueError("need at least one session")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.metrics = metrics or MetricsRegistry()
+        self.pace_s = pace_s
+        self._slots = [_SessionSlot(session=s) for s in sessions]
+        self._cond = threading.Condition()
+        self._pumping = False
+
+    # ------------------------------------------------------------------- pump
+    def run(self, max_rounds: int | None = None) -> int:
+        """Pump until every session stops (or ``max_rounds``); returns rounds.
+
+        Blocks the calling thread; workers are joined (and every queued
+        frame fully processed) before it returns.
+        """
+        from repro.fleet.session import SessionState
+
+        for slot in self._slots:
+            if slot.session.state is SessionState.INIT:
+                slot.session.start()
+        self._pumping = True
+        threads = [
+            threading.Thread(target=self._worker, name=f"fleet-worker-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for t in threads:
+            t.start()
+        rounds = 0
+        try:
+            while max_rounds is None or rounds < max_rounds:
+                alive = False
+                for slot in self._slots:
+                    session = slot.session
+                    if not session.active or session.draining:
+                        continue
+                    alive = True
+                    item = session.produce()
+                    if item is not None:
+                        self._enqueue(slot, item)
+                rounds += 1
+                self.metrics.counter("fleet.rounds").inc()
+                if not alive:
+                    break
+                if self.pace_s:
+                    time.sleep(self.pace_s)
+        finally:
+            # Let the workers drain every queue, then stamp the final
+            # lifecycle transitions in processing order.
+            with self._cond:
+                self._pumping = False
+                self._cond.notify_all()
+            for t in threads:
+                t.join()
+            for slot in self._slots:
+                slot.session.close()
+        return rounds
+
+    def _enqueue(self, slot: _SessionSlot, item: object) -> None:
+        session = slot.session
+        with self._cond:
+            if len(slot.queue) >= self.queue_depth:
+                slot.queue.popleft()  # drop-oldest: freshest data wins
+                slot.dropped += 1
+                dropped_now = 1
+            else:
+                dropped_now = 0
+            slot.queue.append((item, time.perf_counter()))
+            depth = len(slot.queue)
+            self._cond.notify()
+        if dropped_now:
+            self.metrics.counter(f"session.{session.session_id}.dropped_queue").inc()
+            self.metrics.counter("fleet.dropped_queue").inc()
+            session._emit(
+                FrameDropEvent(session.session_id, session.time_s, dropped_now, where="queue")
+            )
+        self.metrics.gauge(f"session.{session.session_id}.queue_depth").set(depth)
+
+    # ----------------------------------------------------------------- workers
+    def _claim(self) -> _SessionSlot | None:
+        """Under the lock: pick the unclaimed slot with the deepest queue."""
+        best = None
+        for slot in self._slots:
+            if slot.claimed or not slot.queue:
+                continue
+            if best is None or len(slot.queue) > len(best.queue):
+                best = slot
+        if best is not None:
+            best.claimed = True
+        return best
+
+    def _worker(self) -> None:
+        batch_max = 8
+        while True:
+            with self._cond:
+                slot = self._claim()
+                if slot is None:
+                    if not self._pumping and all(not s.queue for s in self._slots):
+                        return
+                    self._cond.wait(timeout=0.05)
+                    continue
+                batch = [slot.queue.popleft() for _ in range(min(batch_max, len(slot.queue)))]
+            try:
+                for item, enqueued_at in batch:
+                    slot.session.process(item, enqueued_at=enqueued_at)
+            finally:
+                with self._cond:
+                    slot.claimed = False
+                    if slot.queue:
+                        self._cond.notify()
+
+    # -------------------------------------------------------------- inspection
+    def queue_depths(self) -> dict[str, int]:
+        """Current queue depth per session id."""
+        with self._cond:
+            return {slot.session.session_id: len(slot.queue) for slot in self._slots}
+
+    def dropped(self) -> dict[str, int]:
+        """Queue drops per session id since construction."""
+        with self._cond:
+            return {slot.session.session_id: slot.dropped for slot in self._slots}

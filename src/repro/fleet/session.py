@@ -1,0 +1,533 @@
+"""One vehicle's detector session: a supervised lifecycle around the stack.
+
+:class:`DetectorSession` owns a full per-vehicle pipeline — emulated
+chip, (optionally faulty) SPI wire, host driver, frame stream, streaming
+blink detector — and wraps it in the state machine a service needs:
+
+::
+
+    INIT ──start()──▶ COLD_START ──bin selected──▶ RUNNING
+                          ▲                          │
+                          │      movement restart    │
+                          ├──────────────────────────┤
+                          │                          ▼
+                    (soft reset ok)             DEGRADED ◀── SpiError
+                          └─────── backoff ────────┘
+                                                     │ attempts exhausted
+      source dry / stop() ──▶ STOPPED ◀──────────────┘
+
+A wire fault (:class:`~repro.hardware.spi.SpiError`) does not crash the
+session: it parks in DEGRADED, keeps *device time moving* (the chip keeps
+sampling into its FIFO — overflowing it, which is counted), then
+soft-resets and reconfigures the chip and re-enters a fresh 2 s cold
+start, exactly the recovery a deployed head unit performs.
+
+Threading contract (enforced by :mod:`repro.fleet.scheduler`):
+:meth:`produce` is only ever called from the scheduler's pump thread and
+:meth:`process` from at most one worker at a time; the small amount of
+state they share is guarded by an internal lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.realtime import RealTimeBlinkDetector, RealTimeConfig
+from repro.fleet.events import (
+    BlinkEvent,
+    DrowsyAlertEvent,
+    FaultEvent,
+    FleetEvent,
+    FrameDropEvent,
+    RestartEvent,
+    StateChangeEvent,
+)
+from repro.fleet.metrics import MetricsRegistry
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.driver import FrameStream, XepDriver
+from repro.hardware.spi import SpiBus, SpiError, SpiSlave
+
+__all__ = ["SessionState", "SessionConfig", "DetectorSession"]
+
+
+class SessionState(Enum):
+    """Lifecycle states of a detector session."""
+
+    INIT = "init"
+    COLD_START = "cold_start"
+    RUNNING = "running"
+    DEGRADED = "degraded"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session policy knobs.
+
+    Attributes
+    ----------
+    frame_rate_div / tx_power:
+        Chip configuration programmed at every (re)start (div 4 = the
+        paper's 25 FPS).
+    fifo_frames:
+        Device FIFO capacity in frames; overflows during a DEGRADED
+        spell are the realistic loss mode.
+    recovery_backoff_frames:
+        Frame periods to sit in DEGRADED before attempting a soft reset
+        (a real harness fault is rarely a single transaction long).
+    max_recovery_attempts:
+        Consecutive failed resets before the session gives up and stops.
+        Each failed attempt consumes one wire transaction (the reset
+        write), so a fault burst longer than this many transactions is
+        terminal — size injected bursts accordingly.
+    drowsy_rate_threshold_bpm / drowsy_window_s:
+        Blink-rate alerting: alert when the rate over the trailing
+        window crosses the threshold (paper Sec. IV-F: drowsy drivers
+        blink markedly faster; awake baselines sit near 15-20/min).
+    detector:
+        Streaming detector configuration (paper defaults when None).
+    """
+
+    frame_rate_div: int = 4
+    tx_power: int = 0xFF
+    fifo_frames: int = 8
+    recovery_backoff_frames: int = 10
+    max_recovery_attempts: int = 8
+    drowsy_rate_threshold_bpm: float = 28.0
+    drowsy_window_s: float = 30.0
+    detector: RealTimeConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.recovery_backoff_frames < 1:
+            raise ValueError("recovery_backoff_frames must be >= 1")
+        if self.max_recovery_attempts < 1:
+            raise ValueError("max_recovery_attempts must be >= 1")
+        if self.fifo_frames < 1:
+            raise ValueError("fifo_frames must be >= 1")
+
+
+class DetectorSession:
+    """Supervised per-vehicle detection pipeline (see module docstring).
+
+    Parameters
+    ----------
+    session_id:
+        Stable identifier; prefixes every event and metric.
+    frames:
+        The vehicle's world: a (n_frames, n_bins) complex matrix the
+        emulated chip samples from. The session keeps its own cursor
+        into it, so a chip reset never rewinds the world — frames that
+        elapse while the session is down are simply gone, as on a road.
+    config:
+        Policy knobs (:class:`SessionConfig`).
+    wire_factory:
+        Optional wrapper applied to the device before the bus sees it
+        (e.g. :class:`~repro.fleet.faults.SpiFaultInjector`).
+    metrics:
+        Shared registry; the session records under ``session.<id>.*``
+        and aggregates under ``fleet.*``.
+    sink:
+        Callable receiving every :class:`~repro.fleet.events.FleetEvent`
+        (the service's aggregated log). Events are also kept locally in
+        :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        frames: np.ndarray,
+        config: SessionConfig | None = None,
+        wire_factory: Callable[[SpiSlave], SpiSlave] | None = None,
+        metrics: MetricsRegistry | None = None,
+        sink: Callable[[FleetEvent], None] | None = None,
+    ) -> None:
+        frames = np.asarray(frames)
+        if frames.ndim != 2 or frames.shape[0] < 1:
+            raise ValueError(f"frames must be a non-empty (n_frames, n_bins) matrix, got {frames.shape}")
+        self.session_id = session_id
+        self.config = config or SessionConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._sink = sink
+        self._frames = frames
+        self._n_world = frames.shape[0]
+        self.n_bins = frames.shape[1]
+        self.frame_rate_hz = 100.0 / self.config.frame_rate_div
+        self._period_s = 1.0 / self.frame_rate_hz
+
+        self.device = UwbRadarDevice(
+            frame_source=self._feed,
+            fifo_capacity_bytes=self.config.fifo_frames * self.n_bins * 4,
+        )
+        self.wire: SpiSlave = wire_factory(self.device) if wire_factory else self.device
+        self.driver = XepDriver(SpiBus(self.wire), n_bins=self.n_bins)
+
+        self._lock = threading.Lock()
+        self._state = SessionState.INIT
+        self._cursor = 0  # next world frame index the chip will sample
+        self._base_cursor = 0  # world index where the current incarnation began
+        self._drops_reported = 0  # per-incarnation FIFO drops already evented
+        self._backoff = 0
+        self._recovery_attempts = 0
+        self._pending_fault: str | None = None
+        self._restart_requested = False
+        self._stop_requested = False
+        self._closed = False
+        #: True once the world ran dry: the pump must stop producing,
+        #: but STOPPED is only stamped after the queue drains (close()),
+        #: so worker-side transitions land in order.
+        self.draining = False
+        self._last_time_s = 0.0
+        self._last_det_index = 0
+        self._generation = 0  # bumped at every bring-up; stale frames are flushed
+        self._stream: FrameStream | None = None
+        self.detector: RealTimeBlinkDetector | None = None
+        self._blink_times: deque[float] = deque()
+        self._last_alert_time_s = float("-inf")
+
+        self.events: list[FleetEvent] = []
+        self.blink_events: list[BlinkEvent] = []
+        self.frames_processed = 0
+        self.restarts = 0
+
+    # ----------------------------------------------------------------- helpers
+    def _feed(self, _k: int) -> np.ndarray:
+        # The chip samples the *world*, not a tape: the session cursor
+        # only moves forward, so resets lose frames instead of replaying.
+        i = self._cursor
+        if i >= self._n_world:
+            raise IndexError(i)
+        self._cursor = i + 1
+        return self._frames[i]
+
+    @property
+    def state(self) -> SessionState:
+        """Current lifecycle state."""
+        with self._lock:
+            return self._state
+
+    @property
+    def active(self) -> bool:
+        """True until the session reaches STOPPED."""
+        return self.state is not SessionState.STOPPED
+
+    @property
+    def time_s(self) -> float:
+        """Session device-time clock (seconds of world elapsed)."""
+        return self._cursor * self._period_s
+
+    @property
+    def blink_times_s(self) -> list[float]:
+        """Device-time stamps of every detected blink."""
+        return [e.time_s for e in self.blink_events]
+
+    def _emit(self, event: FleetEvent) -> None:
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink(event)
+
+    def _transition(self, new_state: SessionState, at_s: float | None = None) -> None:
+        # at_s: device-time stamp; worker-side transitions pass the time
+        # of the frame that caused them (the cursor clock runs ahead of
+        # the queue when the pump is unpaced).
+        with self._lock:
+            old = self._state
+            if old is new_state:
+                return
+            self._state = new_state
+        self._emit(
+            StateChangeEvent(
+                self.session_id, self.time_s if at_s is None else at_s, old.value, new_state.value
+            )
+        )
+
+    def _metric(self, name: str):
+        return self.metrics.counter(f"session.{self.session_id}.{name}")
+
+    def _apex_time(self, anchor_time_s: float, anchor_index: int, event_index: int) -> float:
+        """World time of a blink apex that the detector reported
+        ``anchor_index - event_index`` frames after the fact.
+
+        Computed index-first and divided by the frame rate — the same
+        arithmetic the detector's own ``time_s`` uses — so apex stamps
+        compare bit-for-bit with the single-session pipeline.
+        """
+        world_index = round(anchor_time_s * self.frame_rate_hz) - (anchor_index - event_index)
+        return world_index / self.frame_rate_hz
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Probe, configure and start the chip; enter the first cold start."""
+        if self.state is not SessionState.INIT:
+            raise RuntimeError(f"session {self.session_id} already started")
+        try:
+            self._bring_up()
+        except SpiError as exc:
+            self._note_fault(str(exc))
+            self._enter_degraded()
+
+    def _bring_up(self) -> None:
+        """(Re)configure the chip and build a fresh stream + detector."""
+        self.driver.probe()
+        self.driver.configure(
+            frame_rate_div=self.config.frame_rate_div, tx_power=self.config.tx_power
+        )
+        self.driver.start()
+        self._base_cursor = self._cursor
+        self._drops_reported = 0
+        self._stream = FrameStream(self.driver, self.device)
+        # The generation bump and detector swap are atomic so workers
+        # never feed a frame from a dead incarnation to the new detector.
+        with self._lock:
+            self._generation += 1
+            self.detector = RealTimeBlinkDetector(self.frame_rate_hz, self.config.detector)
+        self._recovery_attempts = 0
+        self._transition(SessionState.COLD_START)
+
+    def _note_fault(self, detail: str, terminal: bool = False) -> None:
+        self._metric("faults").inc()
+        self.metrics.counter("fleet.faults").inc()
+        self._emit(FaultEvent(self.session_id, self.time_s, detail, terminal=terminal))
+
+    def _enter_degraded(self) -> None:
+        self._backoff = self.config.recovery_backoff_frames
+        self._transition(SessionState.DEGRADED)
+
+    def _shutdown(self) -> None:
+        try:
+            self.driver.stop()
+        except SpiError:
+            pass  # a dead wire cannot keep us from declaring the end
+        self._transition(SessionState.STOPPED)
+
+    def request_restart(self) -> None:
+        """Ask for an operator restart (honoured on the next produce)."""
+        self._restart_requested = True
+
+    def request_stop(self) -> None:
+        """Ask for an orderly stop (honoured on the next produce)."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------ produce side
+    def produce(self) -> tuple[int, float, np.ndarray] | None:
+        """Advance one frame period; return ``(generation, time_s, frame)``.
+
+        Called once per scheduling round by the pump thread; returns
+        None when no frame arrived this period. All fault handling
+        lives here: an :class:`SpiError` parks the session in DEGRADED
+        instead of propagating. The generation tag lets :meth:`process`
+        flush frames that were queued before a restart instead of
+        feeding the reborn detector a stale backlog.
+        """
+        state = self.state
+        if state in (SessionState.INIT, SessionState.STOPPED):
+            return None
+        if self._stop_requested:
+            self._stop_requested = False
+            self._shutdown()
+            return None
+        if state is SessionState.DEGRADED:
+            # The chip never stopped sampling: world time advances and
+            # the FIFO overflows while the host backs off — those are
+            # real, counted losses.
+            self.device.tick()
+            self._backoff -= 1
+            if self._backoff <= 0:
+                self._recover(reason="spi_fault")
+            return None
+        if self._restart_requested:
+            self._restart_requested = False
+            self._recover(reason="manual")
+            return None
+        try:
+            item = self._stream.poll()
+            self._account_fifo_drops()
+        except SpiError as exc:
+            self._note_fault(str(exc))
+            self._enter_degraded()
+            return None
+        if item is None:
+            if self._stream.exhausted:
+                self.draining = True
+            return None
+        timestamp, frame = item
+        world_time = self._base_cursor * self._period_s + timestamp
+        self._last_time_s = world_time
+        return self._generation, world_time, frame
+
+    def _account_fifo_drops(self) -> None:
+        dropped = self._stream.dropped
+        if dropped > self._drops_reported:
+            delta = dropped - self._drops_reported
+            self._drops_reported = dropped
+            self._metric("dropped_fifo").inc(delta)
+            self.metrics.counter("fleet.dropped_fifo").inc(delta)
+            self._emit(FrameDropEvent(self.session_id, self.time_s, delta, where="fifo"))
+
+    def _recover(self, reason: str) -> None:
+        """Soft-reset and reconfigure the chip; re-enter cold start."""
+        # Everything the world produced this incarnation that never made
+        # it to the detector is lost at the reset (FIFO flush + overflow
+        # drops not yet accounted).
+        delivered = self._stream.delivered if self._stream is not None else 0
+        lost = (self._cursor - self._base_cursor) - delivered - self._drops_reported
+        attempts = self._recovery_attempts + 1
+        try:
+            self.driver.soft_reset()
+            self._bring_up()
+        except SpiError as exc:
+            self._recovery_attempts += 1
+            if self._recovery_attempts >= self.config.max_recovery_attempts:
+                self._note_fault(f"recovery abandoned: {exc}", terminal=True)
+                self._shutdown()
+            else:
+                self._note_fault(f"recovery attempt failed: {exc}")
+                self._enter_degraded()
+            return
+        if lost > 0:
+            self._metric("dropped_fifo").inc(lost)
+            self.metrics.counter("fleet.dropped_fifo").inc(lost)
+            self._emit(FrameDropEvent(self.session_id, self.time_s, lost, where="fifo"))
+        self.restarts += 1
+        self._metric("restarts").inc()
+        self.metrics.counter("fleet.restarts").inc()
+        self._emit(RestartEvent(self.session_id, self.time_s, reason, attempts=attempts))
+
+    # ------------------------------------------------------------ process side
+    def process(self, item: tuple[int, float, np.ndarray], enqueued_at: float | None = None) -> None:
+        """Run the detector over one produced item (worker side, serialized).
+
+        Frames queued before a restart (older generation) are flushed,
+        not processed: a reborn detector must cold-start on live frames,
+        not on a backlog from its dead predecessor followed by a time
+        jump it would misread as body movement.
+        """
+        generation, time_s, frame = item
+        with self._lock:
+            detector = self.detector
+            current = self._generation
+        if detector is None:
+            return
+        if generation != current:
+            self._metric("dropped_stale").inc()
+            self.metrics.counter("fleet.dropped_stale").inc()
+            self._emit(FrameDropEvent(self.session_id, time_s, 1, where="stale"))
+            return
+        status = detector.process_frame(frame)
+        self.frames_processed += 1
+        self._last_det_index = status.frame_index
+        self._metric("frames_processed").inc()
+        self.metrics.counter("fleet.frames_processed").inc()
+        if enqueued_at is not None:
+            latency = time.perf_counter() - enqueued_at
+            self.metrics.histogram(f"session.{self.session_id}.latency_s").observe(latency)
+            self.metrics.histogram("fleet.latency_s").observe(latency)
+        if status.restarted:
+            self.restarts += 1
+            self._metric("restarts").inc()
+            self.metrics.counter("fleet.restarts").inc()
+            self._emit(RestartEvent(self.session_id, time_s, reason="movement"))
+        if status.event is not None:
+            # Stamp the blink at its apex in world time: LEVD completes a
+            # blink a few hundred ms after the apex, and the detector's
+            # own clock counts only delivered frames.
+            apex = self._apex_time(time_s, status.frame_index, status.event.frame_index)
+            self._on_blink(apex, status.event.frame_index, status.event.prominence)
+        # Mirror the detector's internal cold-start cycle into the
+        # session state (movement restarts re-enter cold start too).
+        # Guarded by generation: a recovery may supersede this detector
+        # while process_frame runs, and its bin selection must not leak
+        # onto the new incarnation's state.
+        new_state: SessionState | None = None
+        with self._lock:
+            if self._generation == generation:
+                if self._state is SessionState.COLD_START and detector.selected_bin is not None:
+                    self._state = new_state = SessionState.RUNNING
+                elif self._state is SessionState.RUNNING and detector.selected_bin is None:
+                    self._state = new_state = SessionState.COLD_START
+        if new_state is not None:
+            old = (
+                SessionState.COLD_START
+                if new_state is SessionState.RUNNING
+                else SessionState.RUNNING
+            )
+            self._emit(StateChangeEvent(self.session_id, time_s, old.value, new_state.value))
+
+    def _on_blink(self, time_s: float, frame_index: int, prominence: float) -> None:
+        event = BlinkEvent(self.session_id, time_s, frame_index, prominence)
+        self.blink_events.append(event)
+        self._emit(event)
+        self._metric("blinks").inc()
+        self.metrics.counter("fleet.blinks").inc()
+        window = self.config.drowsy_window_s
+        times = self._blink_times
+        times.append(time_s)
+        while times and times[0] < time_s - window:
+            times.popleft()
+        # Rate alerting only once the window is actually filled, with a
+        # one-window refractory so a drowsy spell raises one alert, not
+        # one per blink.
+        if time_s < window or time_s - self._last_alert_time_s < window:
+            return
+        rate_bpm = len(times) * 60.0 / window
+        if rate_bpm >= self.config.drowsy_rate_threshold_bpm:
+            self._last_alert_time_s = time_s
+            self._metric("drowsy_alerts").inc()
+            self.metrics.counter("fleet.drowsy_alerts").inc()
+            self._emit(
+                DrowsyAlertEvent(
+                    self.session_id,
+                    time_s,
+                    rate_bpm=rate_bpm,
+                    threshold_bpm=self.config.drowsy_rate_threshold_bpm,
+                    window_s=window,
+                )
+            )
+
+    def close(self) -> None:
+        """Flush the detector and stamp STOPPED (call after the queue drained)."""
+        if self._closed:
+            return
+        self._closed = True
+        detector = self.detector
+        if detector is not None:
+            event = detector.finish()
+            if event is not None:
+                apex = self._apex_time(self._last_time_s, self._last_det_index, event.frame_index)
+                self._on_blink(apex, event.frame_index, event.prominence)
+        if self.state is not SessionState.STOPPED:
+            self._shutdown()
+
+    # ------------------------------------------------------------- convenience
+    def run_serial(self) -> None:
+        """Drive the whole session on the calling thread (no scheduler).
+
+        The reference execution mode: tests compare a scheduled fleet
+        session against this to prove the scheduler changes nothing.
+        """
+        if self.state is SessionState.INIT:
+            self.start()
+        while self.active and not self.draining:
+            item = self.produce()
+            if item is not None:
+                self.process(item, enqueued_at=time.perf_counter())
+        self.close()
+
+    def health(self) -> dict[str, object]:
+        """One-line health snapshot (the service aggregates these)."""
+        return {
+            "state": self.state.value,
+            "time_s": round(self.time_s, 3),
+            "frames_world": self._cursor,
+            "frames_processed": self.frames_processed,
+            "blinks": len(self.blink_events),
+            "restarts": self.restarts,
+            "dropped_fifo": self._metric("dropped_fifo").value,
+            "dropped_queue": self._metric("dropped_queue").value,
+        }

@@ -89,6 +89,11 @@ class UwbRadarDevice:
         return self._n_bins
 
     @property
+    def frames_produced(self) -> int:
+        """Frames the sampler has produced since the last reset (unwrapped)."""
+        return self._frame_counter
+
+    @property
     def running(self) -> bool:
         """True when TRX_CTRL bit 0 is set."""
         return bool(self.registers.read_name("TRX_CTRL") & 0x01)
@@ -129,6 +134,7 @@ class UwbRadarDevice:
         except (IndexError, StopIteration):
             return False
         self._frame_counter += 1
+        self._sync_frame_count()
         if self._n_bins is None:
             self._n_bins = int(len(frame))
         payload = self.encode_frame(frame)
@@ -151,6 +157,11 @@ class UwbRadarDevice:
         if overflow is not None:
             status = (status | 0x02) if overflow else (status & ~0x02)
         self.registers.write_name("STATUS", status & 0xFF, force=True)
+
+    def _sync_frame_count(self) -> None:
+        produced = self._frame_counter & 0xFFFF
+        self.registers.write_name("FRAME_COUNT_L", produced & 0xFF, force=True)
+        self.registers.write_name("FRAME_COUNT_H", (produced >> 8) & 0xFF, force=True)
 
     def _sync_count(self) -> None:
         count = len(self._fifo)
@@ -191,12 +202,13 @@ class UwbRadarDevice:
                 return bytes([NAK])
             out = bytes(self._fifo.popleft() for _ in range(n))
             self._sync_count()
-            return out
-        # Plain register read.
+            return bytes([ACK]) + out
+        # Plain register read. The leading ACK keeps a data byte of 0xEE
+        # from masquerading as a NAK (see repro.hardware.spi).
         if len(body) != 1:
             return bytes([NAK])
         try:
-            return bytes([self.registers.read(command & 0x3F)])
+            return bytes([ACK, self.registers.read(command & 0x3F)])
         except KeyError:
             return bytes([NAK])
 

@@ -75,6 +75,17 @@ class XepDriver:
         high = self.bus.read_register(self._addr("FIFO_COUNT_H"))
         return low | (high << 8)
 
+    def frame_count(self) -> int:
+        """Device frame counter: frames *produced* since reset, mod 2**16.
+
+        Unlike the FIFO count, this keeps advancing when frames are lost
+        to FIFO overflow, so the host can anchor timestamps to device
+        time and detect drops.
+        """
+        low = self.bus.read_register(self._addr("FRAME_COUNT_L"))
+        high = self.bus.read_register(self._addr("FRAME_COUNT_H"))
+        return low | (high << 8)
+
     def read_frame(self, device: UwbRadarDevice) -> np.ndarray | None:
         """Pop one frame from the FIFO, or None when none is complete.
 
@@ -92,6 +103,13 @@ class FrameStream:
 
     Iterating yields ``(timestamp_s, frame)`` pairs until the device's
     frame source is exhausted or ``n_frames`` have been delivered.
+
+    Timestamps are anchored to the device's FRAME_COUNT register — the
+    production index of the frame just read — not to the number of frames
+    the host happened to receive. When the FIFO overflows and frames are
+    lost, the timeline therefore keeps its true 1:1 mapping to device
+    time instead of silently compressing, and the loss is surfaced
+    through :attr:`dropped`.
     """
 
     def __init__(self, driver: XepDriver, device: UwbRadarDevice, n_frames: int | None = None):
@@ -100,16 +118,60 @@ class FrameStream:
         self.driver = driver
         self.device = device
         self.n_frames = n_frames
+        #: Frames delivered to the host so far.
+        self.delivered = 0
+        #: Frames the device produced but the host never received (FIFO
+        #: overflow drops).
+        self.dropped = 0
+        self._produced_unwrapped = 0
+        self._last_raw_count = 0
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the device's frame source ran dry and the FIFO drained."""
+        return self._exhausted
+
+    def _produced_total(self) -> int:
+        """Unwrap the 16-bit FRAME_COUNT register into a running total."""
+        raw = self.driver.frame_count()
+        if raw < self._last_raw_count:
+            self._produced_unwrapped += 0x10000
+        self._last_raw_count = raw
+        return self._produced_unwrapped + raw
+
+    def poll(self) -> tuple[float, np.ndarray] | None:
+        """Advance one frame period and try to read one frame.
+
+        Returns ``(timestamp_s, frame)`` when a frame came back, or None
+        when no frame was available this period (check :attr:`exhausted`
+        to distinguish a dry source from transient FIFO lag). SPI faults
+        propagate as :class:`~repro.hardware.spi.SpiError` — callers that
+        own a recovery path (e.g. ``repro.fleet``) catch them here.
+        """
+        if self._exhausted or (self.n_frames is not None and self.delivered >= self.n_frames):
+            return None
+        produced = self.device.tick()
+        frame = self.driver.read_frame(self.device)
+        if frame is None:
+            if not produced:
+                self._exhausted = True
+            return None
+        # The frame we just popped was produced `remaining` frames before
+        # the newest one, so its production index — and with it the
+        # device-time timestamp — is exact even across overflow drops.
+        remaining = self.driver.fifo_count() // (self.driver.n_bins * 4)
+        production_index = self._produced_total() - remaining - 1
+        self.dropped = production_index - self.delivered
+        timestamp = production_index * self.device.frame_period_s
+        self.delivered += 1
+        return timestamp, frame
 
     def __iter__(self) -> Iterator[tuple[float, np.ndarray]]:
-        delivered = 0
-        while self.n_frames is None or delivered < self.n_frames:
-            produced = self.device.tick()
-            frame = self.driver.read_frame(self.device)
-            if frame is None:
-                if not produced:
-                    return  # source exhausted and FIFO drained
+        while self.n_frames is None or self.delivered < self.n_frames:
+            item = self.poll()
+            if item is None:
+                if self._exhausted:
+                    return
                 continue
-            timestamp = delivered * self.device.frame_period_s
-            delivered += 1
-            yield timestamp, frame
+            yield item

@@ -44,7 +44,10 @@ class Register:
 #: TX_POWER is a 0–255 code scaling the pulse amplitude; DAC_STEP selects
 #: the fast-time bin decimation; TRX_CTRL bit0 starts/stops the sampler;
 #: STATUS bit0 = frame ready, bit1 = FIFO overflow; FIFO_COUNT_L/H expose
-#: the byte count and FIFO_DATA pops bytes.
+#: the byte count and FIFO_DATA pops bytes; FRAME_COUNT_L/H is a free-
+#: running 16-bit counter of frames *produced* by the sampler (it keeps
+#: counting when the FIFO overflows, which is what lets the host anchor
+#: timestamps to device time even across dropped frames).
 _REGISTER_LIST = [
     Register("CHIP_ID", 0x00, reset_value=0xA4, writable=False),
     Register("VERSION", 0x01, reset_value=0x12, writable=False),
@@ -56,6 +59,8 @@ _REGISTER_LIST = [
     Register("FIFO_COUNT_L", 0x21, reset_value=0x00, writable=False),
     Register("FIFO_COUNT_H", 0x22, reset_value=0x00, writable=False),
     Register("FIFO_DATA", 0x23, reset_value=0x00, writable=False),
+    Register("FRAME_COUNT_L", 0x24, reset_value=0x00, writable=False),
+    Register("FRAME_COUNT_H", 0x25, reset_value=0x00, writable=False),
     Register("SOFT_RESET", 0x30, reset_value=0x00),
 ]
 

@@ -3,13 +3,17 @@
 The wire protocol (one chip-select assertion per transaction):
 
 - register write:  ``0x80|addr, value, crc``           → ``ack(0x5A)``
-- register read:   ``0x00|addr, crc``                  → ``value``
-- burst FIFO read: ``0x40|n_lo, n_hi, crc``            → ``n bytes``
+- register read:   ``0x00|addr, crc``                  → ``ack, value``
+- burst FIFO read: ``0x40|n_lo, n_hi, crc``            → ``ack, n bytes``
 
 The final command byte is a CRC-8 (polynomial 0x07) over the preceding
 bytes; the slave answers ``0xEE`` to a bad CRC and the master raises
-:class:`SpiError`. The framing is deliberately simple but real enough to
-exercise driver-side error handling and to carry the full frame stream.
+:class:`SpiError`. Successful read replies lead with the ACK byte so a
+data byte that happens to equal ``0xEE`` can never be mistaken for a
+NAK — without the leading ACK, any register whose *value* is ``0xEE``
+(e.g. a free-running frame counter passing 238) would be unreadable.
+The framing is deliberately simple but real enough to exercise
+driver-side error handling and to carry the full frame stream.
 """
 
 from __future__ import annotations
@@ -74,11 +78,14 @@ class SpiBus:
         if not 0 <= address <= 0x3F:
             raise ValueError(f"address {address:#x} outside the 6-bit command space")
         reply = self._transact(bytes([address]))
-        if len(reply) != 1:
-            raise SpiError(f"register read from {address:#04x} returned {len(reply)} bytes")
-        if reply[0] == NAK:
+        if len(reply) == 1 and reply[0] == NAK:
             raise SpiError(f"register read from {address:#04x} NAKed")
-        return reply[0]
+        if len(reply) != 2 or reply[0] != ACK:
+            raise SpiError(
+                f"register read from {address:#04x} returned malformed reply "
+                f"{reply.hex() if reply else '<empty>'}"
+            )
+        return reply[1]
 
     def burst_read(self, n_bytes: int) -> bytes:
         """Read ``n_bytes`` from the device FIFO in one transaction."""
@@ -87,6 +94,6 @@ class SpiBus:
         reply = self._transact(bytes([_CMD_BURST | 0x00, n_bytes & 0xFF, (n_bytes >> 8) & 0xFF]))
         if len(reply) == 1 and reply[0] == NAK:
             raise SpiError("burst read NAKed")
-        if len(reply) != n_bytes:
-            raise SpiError(f"burst read returned {len(reply)} of {n_bytes} bytes")
-        return reply
+        if len(reply) != n_bytes + 1 or reply[0] != ACK:
+            raise SpiError(f"burst read returned {len(reply)} of {n_bytes}+ack bytes")
+        return reply[1:]

@@ -1,0 +1,150 @@
+"""FleetScheduler: backpressure, per-session ordering, drain guarantees.
+
+A duck-typed fake session keeps these tests about the *scheduler* —
+deterministic and detector-free."""
+
+import threading
+
+import pytest
+
+from repro.fleet import FleetScheduler, MetricsRegistry, SessionState
+from repro.fleet.events import FrameDropEvent
+
+
+class FakeSession:
+    """Minimal stand-in honouring the scheduler's session contract."""
+
+    def __init__(self, session_id: str, n_items: int):
+        self.session_id = session_id
+        self.n_items = n_items
+        self.state = SessionState.INIT
+        self.draining = False
+        self.closed = False
+        self.produced = 0
+        self.processed: list[int] = []
+        self.events = []
+        self.time_s = 0.0
+        self._in_process = 0
+        self._overlap = False
+
+    @property
+    def active(self):
+        return self.state is not SessionState.STOPPED
+
+    def start(self):
+        self.state = SessionState.RUNNING
+
+    def produce(self):
+        if self.produced >= self.n_items:
+            self.draining = True
+            return None
+        self.produced += 1
+        return self.produced - 1
+
+    def process(self, item, enqueued_at=None):
+        # Flag any concurrent entry: the claim protocol must serialize us.
+        n = self._in_process = self._in_process + 1
+        if n > 1:
+            self._overlap = True
+        self.processed.append(item)
+        self._in_process -= 1
+
+    def close(self):
+        self.closed = True
+        self.state = SessionState.STOPPED
+
+    def _emit(self, event):
+        self.events.append(event)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FleetScheduler([FakeSession("a", 1)], workers=0)
+        with pytest.raises(ValueError):
+            FleetScheduler([FakeSession("a", 1)], queue_depth=0)
+        with pytest.raises(ValueError):
+            FleetScheduler([])
+
+
+class TestScheduling:
+    def test_processes_everything_in_order(self):
+        sessions = [FakeSession(f"s{k}", 200) for k in range(5)]
+        scheduler = FleetScheduler(sessions, workers=4)
+        scheduler.run()
+        for s in sessions:
+            assert s.processed == list(range(200))  # per-session FIFO, lossless
+            assert not s._overlap  # never two workers on one session
+            assert s.closed
+            assert not s.active
+        assert scheduler.queue_depths() == {s.session_id: 0 for s in sessions}
+
+    def test_starts_init_sessions(self):
+        session = FakeSession("s0", 3)
+        FleetScheduler([session], workers=1).run()
+        assert session.produced == 3
+
+    def test_max_rounds_bounds_the_pump(self):
+        session = FakeSession("s0", 1000)
+        scheduler = FleetScheduler([session], workers=1)
+        rounds = scheduler.run(max_rounds=10)
+        assert rounds == 10
+        assert session.produced == 10
+        assert session.processed == list(range(10))  # drained before return
+        assert session.closed
+
+    def test_single_worker_many_sessions(self):
+        sessions = [FakeSession(f"s{k}", 50) for k in range(4)]
+        FleetScheduler(sessions, workers=1).run()
+        for s in sessions:
+            assert s.processed == list(range(50))
+
+
+class TestBackpressure:
+    def test_enqueue_drops_oldest(self):
+        """Deterministic drop-oldest: fill a depth-3 queue without workers."""
+        session = FakeSession("s0", 10)
+        metrics = MetricsRegistry()
+        scheduler = FleetScheduler([session], queue_depth=3, metrics=metrics)
+        slot = scheduler._slots[0]
+        for item in range(10):
+            scheduler._enqueue(slot, item)
+        assert [item for item, _ in slot.queue] == [7, 8, 9]  # freshest wins
+        assert slot.dropped == 7
+        assert scheduler.dropped() == {"s0": 7}
+        assert metrics.counter("session.s0.dropped_queue").value == 7
+        assert metrics.counter("fleet.dropped_queue").value == 7
+        drops = [e for e in session.events if isinstance(e, FrameDropEvent)]
+        assert len(drops) == 7
+        assert all(e.where == "queue" for e in drops)
+
+    def test_slow_consumer_loses_only_its_own_frames(self):
+        """One stalled session must not make a healthy one drop.
+
+        The pump is paced so the (instant) fast consumer genuinely keeps
+        up; the slow consumer blocks on a gate until the pump is done.
+        """
+        slow = FakeSession("slow", 100)
+        fast = FakeSession("fast", 100)
+        gate = threading.Event()
+
+        original = slow.process.__func__
+
+        def stalled(item, enqueued_at=None):
+            gate.wait(timeout=5.0)
+            original(slow, item, enqueued_at)
+
+        slow.process = stalled
+        scheduler = FleetScheduler([slow, fast], workers=2, queue_depth=16, pace_s=0.002)
+        runner = threading.Thread(target=scheduler.run)
+        runner.start()
+        runner.join(timeout=2.0)  # let the pump overflow the stalled queue
+        gate.set()
+        runner.join(timeout=10.0)
+        assert not runner.is_alive()
+        dropped = scheduler.dropped()
+        assert dropped["fast"] == 0
+        assert dropped["slow"] > 0  # the stall overflowed only its own queue
+        assert fast.processed == list(range(100))
+        # Whatever survived the slow queue was still processed in order.
+        assert slow.processed == sorted(slow.processed)

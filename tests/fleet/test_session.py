@@ -1,0 +1,250 @@
+"""DetectorSession: lifecycle, fault recovery, frame accounting, and
+equivalence with the offline pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlinkRadar
+from repro.core.realtime import RealTimeBlinkDetector
+from repro.eval.metrics import score_blink_detection
+from repro.fleet import (
+    DetectorSession,
+    DrowsyAlertEvent,
+    FaultEvent,
+    RestartEvent,
+    SessionConfig,
+    SessionState,
+    SpiFaultInjector,
+    StateChangeEvent,
+)
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.driver import FrameStream, XepDriver
+from repro.hardware.spi import SpiBus
+
+FRAME_RATE = 25.0  # div 4
+
+# Wire-transaction cost of startup and of one streamed frame (see
+# repro.fleet.service); used to aim injected faults at a stream time.
+TX_STARTUP = 5
+TX_PER_FRAME = 7
+
+
+def fault_wire_factory(at_s: float, burst: int):
+    fault_tx = TX_STARTUP + TX_PER_FRAME * int(at_s * FRAME_RATE)
+    return lambda device: SpiFaultInjector(device, fault_at=(fault_tx,), burst=burst)
+
+
+def transitions(session):
+    return [
+        (e.old_state, e.new_state)
+        for e in session.events
+        if isinstance(e, StateChangeEvent)
+    ]
+
+
+class TestCleanLifecycle:
+    def test_serial_run_walks_the_state_machine(self, fleet_trace):
+        session = DetectorSession("s0", fleet_trace.frames)
+        assert session.state is SessionState.INIT
+        session.run_serial()
+        assert transitions(session) == [
+            ("init", "cold_start"),
+            ("cold_start", "running"),
+            ("running", "stopped"),
+        ]
+        assert not session.active
+
+    def test_clean_run_processes_every_world_frame(self, fleet_trace):
+        session = DetectorSession("s0", fleet_trace.frames)
+        session.run_serial()
+        n_world = fleet_trace.frames.shape[0]
+        assert session.frames_processed == n_world
+        assert session.health()["dropped_fifo"] == 0
+        assert session.health()["dropped_queue"] == 0
+
+    def test_blinks_match_single_session_pipeline_exactly(self, fleet_trace):
+        """The session reports the same blinks, at the same apex times,
+        as the plain device -> driver -> detector loop on the same world
+        (the single-session pipeline of examples/realtime_device_stream)."""
+        session = DetectorSession("eq", fleet_trace.frames)
+        session.run_serial()
+
+        frames = fleet_trace.frames
+        device = UwbRadarDevice(frame_source=frames)
+        driver = XepDriver(SpiBus(device), n_bins=frames.shape[1])
+        driver.configure(frame_rate_div=4, tx_power=0xFF)
+        driver.start()
+        detector = RealTimeBlinkDetector(frame_rate_hz=FRAME_RATE)
+        for _, frame in FrameStream(driver, device, n_frames=frames.shape[0]):
+            detector.process_frame(frame)
+        detector.finish()
+
+        assert session.blink_times_s == [e.time_s for e in detector.events]
+        assert len(session.blink_times_s) > 0  # the comparison is not vacuous
+
+    def test_blinks_close_to_offline_float_pipeline(self, fleet_trace):
+        """Against the offline pipeline on the *raw float* frames the only
+        difference is the chip's int16 quantisation, so detection must
+        still score perfectly within the paper's matching tolerance."""
+        session = DetectorSession("eq", fleet_trace.frames)
+        session.run_serial()
+        offline = BlinkRadar(frame_rate_hz=FRAME_RATE).detect(fleet_trace.frames)
+        score = score_blink_detection(list(offline.event_times_s), session.blink_times_s)
+        assert score.f1 == 1.0
+
+    def test_health_snapshot_keys(self, fleet_trace):
+        session = DetectorSession("s0", fleet_trace.frames)
+        session.run_serial()
+        health = session.health()
+        assert health["state"] == "stopped"
+        assert health["time_s"] == pytest.approx(fleet_trace.frames.shape[0] / FRAME_RATE)
+        assert health["frames_world"] == fleet_trace.frames.shape[0]
+        assert health["blinks"] == len(session.blink_events)
+        assert health["restarts"] == 0
+
+    def test_double_start_rejected(self, fleet_trace):
+        session = DetectorSession("s0", fleet_trace.frames)
+        session.start()
+        with pytest.raises(RuntimeError):
+            session.start()
+
+
+class TestFaultRecovery:
+    def test_recovers_through_degraded_to_running(self, fleet_trace):
+        session = DetectorSession(
+            "flt", fleet_trace.frames, wire_factory=fault_wire_factory(4.0, burst=4)
+        )
+        session.run_serial()
+        seq = transitions(session)
+        assert ("running", "degraded") in seq  # fault landed mid-stream
+        assert ("degraded", "cold_start") in seq
+        # The post-recovery cold start completes: RUNNING is re-entered
+        # after the DEGRADED spell.
+        recovered_at = seq.index(("degraded", "cold_start"))
+        assert ("cold_start", "running") in seq[recovered_at:]
+        assert session.health()["state"] == "stopped"
+
+    def test_restart_event_counts_attempts(self, fleet_trace):
+        # Burst of 4: the poll fault consumes one corrupted transaction,
+        # then three reset attempts fail before the fourth succeeds.
+        session = DetectorSession(
+            "flt", fleet_trace.frames, wire_factory=fault_wire_factory(4.0, burst=4)
+        )
+        session.run_serial()
+        restarts = [e for e in session.events if isinstance(e, RestartEvent)]
+        assert [e.reason for e in restarts] == ["spi_fault"]
+        assert restarts[0].attempts == 4
+        assert session.restarts == 1
+
+    def test_every_world_frame_is_accounted_for(self, fleet_trace):
+        """processed + fifo-dropped == world frames: losses are counted,
+        never silent, and resets never replay the world."""
+        session = DetectorSession(
+            "flt", fleet_trace.frames, wire_factory=fault_wire_factory(4.0, burst=4)
+        )
+        session.run_serial()
+        n_world = fleet_trace.frames.shape[0]
+        dropped = session.health()["dropped_fifo"]
+        assert dropped > 0  # the DEGRADED spell really lost frames
+        assert session.frames_processed + dropped == n_world
+        assert session.frames_processed < n_world
+
+    def test_exhausted_burst_is_terminal(self, fleet_trace):
+        config = SessionConfig(max_recovery_attempts=2)
+        session = DetectorSession(
+            "dead",
+            fleet_trace.frames,
+            config=config,
+            wire_factory=fault_wire_factory(4.0, burst=30),
+        )
+        session.run_serial()
+        terminal = [e for e in session.events if isinstance(e, FaultEvent) and e.terminal]
+        assert len(terminal) == 1
+        assert session.state is SessionState.STOPPED
+        assert session.restarts == 0  # it never made it back
+        # It died mid-world, well before the source ran dry.
+        assert session.health()["frames_world"] < fleet_trace.frames.shape[0]
+
+
+class TestControlRequests:
+    def _drive(self, session, n):
+        done = 0
+        while done < n and session.active and not session.draining:
+            item = session.produce()
+            if item is not None:
+                session.process(item)
+                done += 1
+
+    def test_manual_restart(self, fleet_trace):
+        session = DetectorSession("op", fleet_trace.frames)
+        session.start()
+        self._drive(session, 60)
+        session.request_restart()
+        while session.produce() is not None:
+            pass  # the request is honoured on the next produce
+        restarts = [e for e in session.events if isinstance(e, RestartEvent)]
+        assert [e.reason for e in restarts] == ["manual"]
+        assert session.state is SessionState.COLD_START
+
+    def test_request_stop(self, fleet_trace):
+        session = DetectorSession("op", fleet_trace.frames)
+        session.start()
+        self._drive(session, 10)
+        session.request_stop()
+        assert session.produce() is None
+        assert session.state is SessionState.STOPPED
+        assert not session.active
+
+    def test_stale_generation_frames_are_flushed(self, fleet_trace):
+        session = DetectorSession("op", fleet_trace.frames)
+        session.start()
+        backlog = []
+        while len(backlog) < 5:
+            item = session.produce()
+            if item is not None:
+                backlog.append(item)
+        session.request_restart()
+        assert session.produce() is None  # the restart consumed the round
+        processed_before = session.frames_processed
+        for item in backlog:
+            session.process(item)
+        assert session.frames_processed == processed_before
+        assert session.health()["blinks"] == 0
+        stale = session.metrics.counter("session.op.dropped_stale").value
+        assert stale == len(backlog)
+
+
+class TestDrowsyAlerting:
+    def _session(self, frames):
+        config = SessionConfig(drowsy_rate_threshold_bpm=30.0, drowsy_window_s=4.0)
+        return DetectorSession("drz", frames, config=config)
+
+    def test_high_rate_raises_one_alert_per_window(self, fleet_trace):
+        session = self._session(fleet_trace.frames)
+        # 3 blinks in a 4 s window = 45/min, past the 30/min threshold.
+        for k, t in enumerate([4.0, 4.5, 5.0, 5.5, 6.0, 6.5]):
+            session._on_blink(t, frame_index=int(t * FRAME_RATE), prominence=1.0)
+        alerts = [e for e in session.events if isinstance(e, DrowsyAlertEvent)]
+        assert len(alerts) == 1  # refractory: one alert per window
+        assert alerts[0].rate_bpm >= 30.0
+        assert alerts[0].window_s == 4.0
+
+    def test_no_alert_before_window_fills(self, fleet_trace):
+        session = self._session(fleet_trace.frames)
+        for t in [0.5, 1.0, 1.5, 2.0]:  # early burst, window not yet filled
+            session._on_blink(t, frame_index=int(t * FRAME_RATE), prominence=1.0)
+        assert not [e for e in session.events if isinstance(e, DrowsyAlertEvent)]
+
+
+class TestValidation:
+    def test_frames_must_be_2d(self):
+        with pytest.raises(ValueError):
+            DetectorSession("bad", np.zeros(16, dtype=complex))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SessionConfig(recovery_backoff_frames=0)
+        with pytest.raises(ValueError):
+            SessionConfig(max_recovery_attempts=0)
+        with pytest.raises(ValueError):
+            SessionConfig(fifo_frames=0)

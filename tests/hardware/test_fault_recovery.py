@@ -1,0 +1,157 @@
+"""Fault paths on the hardware stack: bad probes, FIFO overflow recovery,
+device-time timestamps across drops, and the ACK-framed read protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.device import UwbRadarDevice
+from repro.hardware.driver import FrameStream, XepDriver
+from repro.hardware.registers import REGISTERS
+from repro.hardware.spi import SpiBus, SpiError
+
+N_BINS = 8
+FRAME_BYTES = N_BINS * 4
+
+
+def make_stack(n_frames=20, fifo_frames=8):
+    frames = np.array([np.full(N_BINS, (k + 1) * 1e-5) for k in range(n_frames)])
+    dev = UwbRadarDevice(frame_source=frames, fifo_capacity_bytes=fifo_frames * FRAME_BYTES)
+    drv = XepDriver(SpiBus(dev), n_bins=N_BINS)
+    return dev, drv, frames
+
+
+class TestProbe:
+    def test_wrong_chip_id_raises(self):
+        dev, drv, _ = make_stack()
+        # A different chip (or a floating bus) answers the ID read.
+        dev.registers.write_name("CHIP_ID", 0x77, force=True)
+        with pytest.raises(SpiError, match="chip id"):
+            drv.probe()
+
+    def test_good_probe_returns_version(self):
+        _, drv, _ = make_stack()
+        assert drv.probe() == REGISTERS["VERSION"].reset_value
+
+
+class TestOverflowRecovery:
+    def test_overflow_bit_visible_through_driver(self):
+        dev, drv, _ = make_stack(fifo_frames=2)
+        drv.start()
+        for _ in range(5):  # 5 frames into a 2-frame FIFO
+            dev.tick()
+        ready, overflow = drv.status()
+        assert ready and overflow
+
+    def test_soft_reset_restores_power_on_state(self):
+        dev, drv, _ = make_stack(fifo_frames=2)
+        drv.configure(frame_rate_div=2, tx_power=0x40)
+        drv.start()
+        for _ in range(5):
+            dev.tick()
+        drv.soft_reset()
+        assert drv.fifo_count() == 0
+        assert drv.frame_count() == 0
+        assert not any(drv.status())  # ready + overflow both cleared
+        assert dev.registers.read_name("FRAME_RATE_DIV") == 4
+        assert dev.registers.read_name("TX_POWER") == 0xFF
+        assert not dev.running
+
+    def test_reconfigure_after_reset_streams_again(self):
+        # A callable source owning its own cursor (the repro.fleet
+        # pattern): the reset rewinds *device* time, never the world.
+        frames = np.array([np.full(N_BINS, (k + 1) * 1e-5) for k in range(20)])
+        cursor = [0]
+
+        def world(_k):
+            frame = frames[cursor[0]]
+            cursor[0] += 1
+            return frame
+
+        dev = UwbRadarDevice(frame_source=world, fifo_capacity_bytes=2 * FRAME_BYTES)
+        drv = XepDriver(SpiBus(dev), n_bins=N_BINS)
+        drv.start()
+        for _ in range(5):
+            dev.tick()
+        drv.soft_reset()
+        drv.configure(frame_rate_div=4, tx_power=0xFF)
+        drv.start()
+        stream = FrameStream(drv, dev, n_frames=3)
+        got = list(stream)
+        assert len(got) == 3
+        # Device time restarts at zero after the reset...
+        assert [t for t, _ in got] == [0.0, 0.04, 0.08]
+        # ...but the world moved on: the first post-reset frame is the
+        # sixth world frame, not a replay of the first.
+        lsb = dev.full_scale / 32767
+        assert got[0][1][0] == pytest.approx(frames[5][0], abs=2 * lsb)
+
+
+class TestDeviceTimeTimestamps:
+    def test_clean_stream_counts_every_period(self):
+        dev, drv, _ = make_stack(n_frames=10)
+        drv.start()
+        stream = FrameStream(drv, dev)
+        stamps = [t for t, _ in stream]
+        assert stamps == pytest.approx([0.04 * k for k in range(10)])
+        assert stream.delivered == 10
+        assert stream.dropped == 0
+        assert stream.exhausted
+
+    def test_timestamps_and_drop_counter_span_overflow(self):
+        """A stalled host loses frames, but the stream's timeline must not
+        compress: timestamps stay anchored to device production time and
+        the loss is reported."""
+        dev, drv, frames = make_stack(n_frames=20, fifo_frames=4)
+        drv.start()
+        for _ in range(10):  # host stalled: 10 produced, FIFO keeps last 4
+            dev.tick()
+        stream = FrameStream(drv, dev)
+        t, frame = stream.poll()  # tick 11: frame 6 overflows out, frame 7 pops
+        assert t == pytest.approx(7 * 0.04)
+        assert stream.dropped == 7
+        lsb = dev.full_scale / 32767
+        assert frame[0] == pytest.approx(frames[7][0], abs=2 * lsb)
+        # After the backlog clears, cadence resumes without re-dropping.
+        rest = [t for t, _ in stream]
+        assert rest[0] == pytest.approx(8 * 0.04)
+        assert rest[-1] == pytest.approx(19 * 0.04)
+        assert stream.dropped == 7
+        assert stream.delivered + stream.dropped == 20
+
+    def test_frame_count_register_unwraps_past_16_bits(self):
+        dev = UwbRadarDevice(
+            frame_source=lambda k: np.full(N_BINS, 1e-5),
+            fifo_capacity_bytes=4 * FRAME_BYTES,
+        )
+        drv = XepDriver(SpiBus(dev), n_bins=N_BINS)
+        drv.start()
+        # Pretend the chip has been sampling for ~43 minutes.
+        dev._frame_counter = 0xFFFC
+        stream = FrameStream(drv, dev)
+        stamps = [stream.poll()[0] for _ in range(8)]
+        deltas = np.diff(stamps)
+        assert deltas == pytest.approx([0.04] * 7)  # monotonic across the wrap
+        assert stamps[-1] > 0xFFFF * 0.04  # really crossed 2**16 frames
+
+
+class TestAckFraming:
+    """A register or FIFO byte equal to NAK (0xEE) must read back intact —
+    the protocol disambiguates via a leading ACK on every read reply."""
+
+    def test_register_value_0xee_reads_back(self):
+        dev, drv, _ = make_stack()
+        drv.bus.write_register(REGISTERS["TX_POWER"].address, 0xEE)
+        assert drv.bus.read_register(REGISTERS["TX_POWER"].address) == 0xEE
+
+    def test_burst_payload_of_0xee_bytes_decodes(self):
+        # int16 value 0xEEEE: every payload byte is the NAK code.
+        value = np.int16(-0x1112)  # 0xEEEE as signed little-endian
+        scale = float(value) / 32767.0
+        frame = np.full(N_BINS, scale * 4.0e-3 + 1j * scale * 4.0e-3)
+        dev = UwbRadarDevice(frame_source=lambda k: frame)
+        drv = XepDriver(SpiBus(dev), n_bins=N_BINS)
+        drv.start()
+        dev.tick()
+        out = drv.read_frame(dev)
+        assert out is not None
+        assert out[0].real == pytest.approx(scale * 4.0e-3, rel=1e-3)

@@ -24,6 +24,14 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "distance", "--seeds", "1"])
         assert args.which == "distance" and args.seeds == [1]
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.vehicles == 4
+        assert args.faults == 0
+        assert args.workers == 4
+        assert args.queue_depth == 4096
+        assert args.fault_at is None
+
 
 class TestCommands:
     def test_simulate_then_detect(self, tmp_path, capsys):
@@ -49,6 +57,26 @@ class TestCommands:
         assert rc == 0
         captured = capsys.readouterr().out
         assert "respiration" in captured and "heart rate" in captured
+
+    def test_fleet_command(self, tmp_path, capsys):
+        out = tmp_path / "fleet.json"
+        rc = main([
+            "fleet", "--vehicles", "2", "--faults", "1", "--duration", "8",
+            "--workers", "2", "--json", str(out),
+        ])
+        assert rc == 0 and out.exists()
+        captured = capsys.readouterr().out
+        assert "v00" in captured and "v01" in captured
+        assert "restarts" in captured and "latency p95" in captured
+        import json
+
+        snap = json.loads(out.read_text())
+        assert snap["counters"]["fleet.restarts"] >= 1
+        assert snap["counters"]["fleet.frames_processed"] > 0
+
+    def test_fleet_rejects_more_faults_than_vehicles(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--vehicles", "2", "--faults", "3", "--duration", "5"])
 
     @pytest.mark.slow
     def test_sweep_command(self, capsys):
