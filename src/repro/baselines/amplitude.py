@@ -33,7 +33,7 @@ class AmplitudeDetector:
             raise ValueError(f"frame rate must be positive, got {frame_rate_hz}")
         self.frame_rate_hz = frame_rate_hz
         self.cold_start_frames = cold_start_frames
-        self.levd_config = levd or LevdConfig()
+        self.levd_config = levd if levd is not None else LevdConfig()
         self.bin_strategy = bin_strategy
 
     def detect(self, frames: np.ndarray) -> list[BlinkDetection]:

@@ -96,7 +96,7 @@ def simulate_ear_series(
     """
     if duration_s <= 0:
         raise ValueError("duration must be positive")
-    rng = rng or np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)
     n_frames = int(round(duration_s * camera.frame_rate_hz))
     motion = DriverModel(participant).generate(
         n_frames, camera.frame_rate_hz, state, rng, allow_posture_shifts=False

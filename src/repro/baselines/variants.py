@@ -26,7 +26,7 @@ def amplitude_bin_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
     The "naive approach" of Sec. IV-D: locks onto the strongest reflector
     (cabin clutter or torso), not the eye.
     """
-    return replace(base or RealTimeConfig(), bin_strategy="max_amplitude")
+    return replace(base if base is not None else RealTimeConfig(), bin_strategy="max_amplitude")
 
 
 def max_variance_bin_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
@@ -36,7 +36,7 @@ def max_variance_bin_config(base: RealTimeConfig | None = None) -> RealTimeConfi
     refinement: the breathing torso wins and the detector watches the
     chest instead of the eyes.
     """
-    return replace(base or RealTimeConfig(), bin_strategy="max_variance")
+    return replace(base if base is not None else RealTimeConfig(), bin_strategy="max_variance")
 
 
 def static_view_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
@@ -45,7 +45,7 @@ def static_view_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
     Ablates Sec. IV-E's adaptive update (bin re-selection and viewing-
     position refits effectively never happen again).
     """
-    base = base or RealTimeConfig()
+    base = base if base is not None else RealTimeConfig()
     return replace(
         base,
         bin_reselect_interval=10**9,
@@ -57,9 +57,9 @@ def static_view_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
 
 def kasa_fit_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
     """Arc fitting with the Kåsa method instead of Pratt."""
-    return replace(base or RealTimeConfig(), viewpos_method="kasa")
+    return replace(base if base is not None else RealTimeConfig(), viewpos_method="kasa")
 
 
 def taubin_fit_config(base: RealTimeConfig | None = None) -> RealTimeConfig:
     """Arc fitting with the Taubin method instead of Pratt."""
-    return replace(base or RealTimeConfig(), viewpos_method="taubin")
+    return replace(base if base is not None else RealTimeConfig(), viewpos_method="taubin")

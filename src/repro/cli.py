@@ -9,6 +9,8 @@ Five commands cover the everyday workflows:
 - ``sweep``     — one of the paper's parameter sweeps, printed as a table.
 - ``fleet``     — run many concurrent detector sessions (optionally with
   injected SPI faults) and print health + metrics.
+- ``lint``      — run reprolint, the repo's AST-based invariant checker
+  (determinism, units discipline, lock discipline, API hygiene).
 
 Examples::
 
@@ -17,6 +19,7 @@ Examples::
     python -m repro vitals drive.npz
     python -m repro sweep distance --seeds 1 2 3
     python -m repro fleet --vehicles 8 --faults 2 --duration 30
+    python -m repro lint src --format json
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.eval.sweeps import (
     glasses_sweep,
     road_group_sweep,
 )
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.physio import ParticipantProfile
 from repro.rf.geometry import SensorPose
 from repro.vehicle.road import ROAD_GROUPS, ROAD_TYPES
@@ -94,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--workers", type=int, default=4, help="detector worker threads")
     flt.add_argument("--queue-depth", type=int, default=4096, help="per-session queue bound")
     flt.add_argument("--json", help="also write the metrics snapshot to this path")
+
+    lnt = sub.add_parser("lint", help="run reprolint, the AST invariant checker")
+    add_lint_arguments(lnt)
     return parser
 
 
@@ -256,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         "vitals": _cmd_vitals,
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
+        "lint": run_lint,
     }
     return handlers[args.command](args)
 

@@ -133,7 +133,7 @@ class LocalExtremeValueDetector:
         if frame_rate_hz <= 0:
             raise ValueError(f"frame rate must be positive, got {frame_rate_hz}")
         self.frame_rate_hz = frame_rate_hz
-        self.config = config or LevdConfig()
+        self.config = config if config is not None else LevdConfig()
         window_frames = max(8, int(round(self.config.sigma_window_s * frame_rate_hz)))
         self._sigma_buffer: deque[float] = deque(maxlen=window_frames)
         self._baseline_buffer: deque[float] = deque(maxlen=window_frames)

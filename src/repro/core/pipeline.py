@@ -89,7 +89,7 @@ class BlinkRadar:
 
     def __init__(self, frame_rate_hz: float = 25.0, config: RealTimeConfig | None = None) -> None:
         self.frame_rate_hz = frame_rate_hz
-        self.config = config or RealTimeConfig()
+        self.config = config if config is not None else RealTimeConfig()
         self._detector: RealTimeBlinkDetector | None = None
 
     def _fresh_detector(self) -> RealTimeBlinkDetector:

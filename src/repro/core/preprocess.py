@@ -80,7 +80,7 @@ class Preprocessor:
     """Stateful preprocessing front-end (fast-time cascade + clutter removal)."""
 
     def __init__(self, config: PreprocessorConfig | None = None) -> None:
-        self.config = config or PreprocessorConfig()
+        self.config = config if config is not None else PreprocessorConfig()
         self._cascade = CascadingFilter(
             fir_order=self.config.fir_order,
             cutoff=self.config.fir_cutoff,

@@ -136,7 +136,9 @@ class FrameStatus:
     """
 
     frame_index: int
-    relative_distance: float
+    # r(k) is the paper's name for a dimensionless quantity (normalised
+    # I/Q displacement), so it carries no unit suffix by design.
+    relative_distance: float  # reprolint: disable=unit-suffix
     selected_bin: int
     restarted: bool
     event: BlinkDetection | None
@@ -149,7 +151,7 @@ class RealTimeBlinkDetector:
         if frame_rate_hz <= 0:
             raise ValueError(f"frame rate must be positive, got {frame_rate_hz}")
         self.frame_rate_hz = frame_rate_hz
-        self.config = config or RealTimeConfig()
+        self.config = config if config is not None else RealTimeConfig()
         self.preprocessor = Preprocessor(self.config.preprocessor)
         self.levd = LocalExtremeValueDetector(frame_rate_hz, self.config.levd)
         self.viewpos = ViewingPositionTracker(

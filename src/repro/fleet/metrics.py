@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from typing import Callable, TypeVar
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
 
 #: Default number of recent observations a histogram keeps for
 #: percentile estimation.
@@ -36,7 +39,7 @@ class Counter:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value = 0
+        self._value = 0  # reprolint: guarded-by(_lock)
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
@@ -57,7 +60,7 @@ class Gauge:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._value: float = 0.0
+        self._value: float = 0.0  # reprolint: guarded-by(_lock)
 
     def set(self, value: float) -> None:
         """Overwrite the gauge."""
@@ -90,11 +93,11 @@ class Histogram:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
         self._lock = threading.Lock()
-        self._recent: deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
+        self._recent: deque[float] = deque(maxlen=window)  # reprolint: guarded-by(_lock)
+        self._count = 0  # reprolint: guarded-by(_lock)
+        self._sum = 0.0  # reprolint: guarded-by(_lock)
+        self._min = float("inf")  # reprolint: guarded-by(_lock)
+        self._max = float("-inf")  # reprolint: guarded-by(_lock)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -158,9 +161,14 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}  # reprolint: guarded-by(_lock)
 
-    def _get_or_create(self, name: str, kind: type, factory):
+    def _get_or_create(
+        self,
+        name: str,
+        kind: type[_InstrumentT],
+        factory: Callable[[], _InstrumentT],
+    ) -> _InstrumentT:
         if not name:
             raise ValueError("metric name must be non-empty")
         with self._lock:
@@ -187,11 +195,11 @@ class MetricsRegistry:
         """Histogram registered under ``name`` (created on first use)."""
         return self._get_or_create(name, Histogram, lambda: Histogram(window))
 
-    def as_dict(self) -> dict[str, dict]:
+    def as_dict(self) -> dict[str, dict[str, object]]:
         """Export every instrument as a JSON-serialisable dict."""
         with self._lock:
             items = sorted(self._instruments.items())
-        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
         for name, instrument in items:
             if isinstance(instrument, Counter):
                 out["counters"][name] = instrument.value

@@ -32,9 +32,12 @@ from dataclasses import dataclass, field
 
 from repro.fleet.events import FrameDropEvent
 from repro.fleet.metrics import MetricsRegistry
-from repro.fleet.session import DetectorSession
+from repro.fleet.session import DetectorSession, FrameItem
 
 __all__ = ["FleetScheduler"]
+
+#: Queue entries carry the frame plus the perf-counter enqueue stamp.
+_QueueEntry = tuple[FrameItem, float]
 
 
 @dataclass
@@ -42,7 +45,7 @@ class _SessionSlot:
     """Scheduler-side bookkeeping for one session."""
 
     session: DetectorSession
-    queue: deque = field(default_factory=deque)
+    queue: deque[_QueueEntry] = field(default_factory=deque)
     claimed: bool = False
     dropped: int = 0
 
@@ -87,11 +90,14 @@ class FleetScheduler:
             raise ValueError("need at least one session")
         self.workers = workers
         self.queue_depth = queue_depth
-        self.metrics = metrics or MetricsRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.pace_s = pace_s
+        #: Slot list and queues are shared with the workers: the list
+        #: itself is immutable after construction, but queue/claim state
+        #: inside each slot is only touched under the condition.
         self._slots = [_SessionSlot(session=s) for s in sessions]
         self._cond = threading.Condition()
-        self._pumping = False
+        self._pumping = False  # reprolint: guarded-by(_cond)
 
     # ------------------------------------------------------------------- pump
     def run(self, max_rounds: int | None = None) -> int:
@@ -105,7 +111,8 @@ class FleetScheduler:
         for slot in self._slots:
             if slot.session.state is SessionState.INIT:
                 slot.session.start()
-        self._pumping = True
+        with self._cond:
+            self._pumping = True
         threads = [
             threading.Thread(target=self._worker, name=f"fleet-worker-{i}", daemon=True)
             for i in range(self.workers)
@@ -142,7 +149,7 @@ class FleetScheduler:
                 slot.session.close()
         return rounds
 
-    def _enqueue(self, slot: _SessionSlot, item: object) -> None:
+    def _enqueue(self, slot: _SessionSlot, item: FrameItem) -> None:
         session = slot.session
         with self._cond:
             if len(slot.queue) >= self.queue_depth:
@@ -165,7 +172,7 @@ class FleetScheduler:
     # ----------------------------------------------------------------- workers
     def _claim(self) -> _SessionSlot | None:
         """Under the lock: pick the unclaimed slot with the deepest queue."""
-        best = None
+        best: _SessionSlot | None = None
         for slot in self._slots:
             if slot.claimed or not slot.queue:
                 continue

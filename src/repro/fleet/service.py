@@ -23,12 +23,14 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.fleet.events import FleetEvent
 from repro.fleet.faults import SpiFaultInjector
+from repro.hardware.spi import SpiSlave
 from repro.fleet.metrics import MetricsRegistry
 from repro.fleet.scheduler import FleetScheduler
 from repro.fleet.session import DetectorSession, SessionConfig
@@ -94,12 +96,12 @@ class FleetService:
     ) -> None:
         self.workers = workers
         self.queue_depth = queue_depth
-        self.session_config = session_config or SessionConfig()
+        self.session_config = session_config if session_config is not None else SessionConfig()
         self.pace_s = pace_s
         self.metrics = MetricsRegistry()
         self.sessions: dict[str, DetectorSession] = {}
         self.traces: dict[str, object] = {}
-        self._events: list[FleetEvent] = []
+        self._events: list[FleetEvent] = []  # reprolint: guarded-by(_events_lock)
         self._events_lock = threading.Lock()
         self._wall_s: float | None = None
 
@@ -114,7 +116,7 @@ class FleetService:
         with self._events_lock:
             return list(self._events)
 
-    def events_of(self, kind: type) -> list[FleetEvent]:
+    def events_of(self, kind: type[FleetEvent]) -> list[FleetEvent]:
         """All aggregated events of one record type."""
         return [e for e in self.events if isinstance(e, kind)]
 
@@ -122,7 +124,7 @@ class FleetService:
         self,
         session_id: str,
         frames: np.ndarray,
-        wire_factory=None,
+        wire_factory: Callable[[SpiSlave], SpiSlave] | None = None,
         config: SessionConfig | None = None,
     ) -> DetectorSession:
         """Register a session over pre-built frames (no simulation)."""
@@ -131,7 +133,7 @@ class FleetService:
         session = DetectorSession(
             session_id,
             frames,
-            config=config or self.session_config,
+            config=config if config is not None else self.session_config,
             wire_factory=wire_factory,
             metrics=self.metrics,
             sink=self._record,
@@ -153,7 +155,7 @@ class FleetService:
             pose=SensorPose(distance_m=spec.distance_m),
         )
         trace = simulate(scenario, seed=spec.seed)
-        wire_factory = None
+        wire_factory: Callable[[SpiSlave], SpiSlave] | None = None
         if spec.fault_at_s is not None:
             frame_rate = 100.0 / self.session_config.frame_rate_div
             fault_tx = _TX_STARTUP + _TX_PER_FRAME * int(spec.fault_at_s * frame_rate)
@@ -203,6 +205,6 @@ class FleetService:
         """Per-session health snapshot keyed by session id."""
         return {sid: session.health() for sid, session in sorted(self.sessions.items())}
 
-    def metrics_snapshot(self) -> dict[str, dict]:
+    def metrics_snapshot(self) -> dict[str, dict[str, object]]:
         """The registry export (counters / gauges / histograms), JSON-ready."""
         return self.metrics.as_dict()

@@ -49,12 +49,15 @@ from repro.fleet.events import (
     RestartEvent,
     StateChangeEvent,
 )
-from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.metrics import Counter, MetricsRegistry
 from repro.hardware.device import UwbRadarDevice
 from repro.hardware.driver import FrameStream, XepDriver
 from repro.hardware.spi import SpiBus, SpiError, SpiSlave
 
-__all__ = ["SessionState", "SessionConfig", "DetectorSession"]
+__all__ = ["SessionState", "SessionConfig", "DetectorSession", "FrameItem"]
+
+#: What the pump hands the workers: (generation, world time s, frame).
+FrameItem = tuple[int, float, np.ndarray]
 
 
 class SessionState(Enum):
@@ -152,8 +155,8 @@ class DetectorSession:
         if frames.ndim != 2 or frames.shape[0] < 1:
             raise ValueError(f"frames must be a non-empty (n_frames, n_bins) matrix, got {frames.shape}")
         self.session_id = session_id
-        self.config = config or SessionConfig()
-        self.metrics = metrics or MetricsRegistry()
+        self.config = config if config is not None else SessionConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._sink = sink
         self._frames = frames
         self._n_world = frames.shape[0]
@@ -169,7 +172,7 @@ class DetectorSession:
         self.driver = XepDriver(SpiBus(self.wire), n_bins=self.n_bins)
 
         self._lock = threading.Lock()
-        self._state = SessionState.INIT
+        self._state = SessionState.INIT  # reprolint: guarded-by(_lock)
         self._cursor = 0  # next world frame index the chip will sample
         self._base_cursor = 0  # world index where the current incarnation began
         self._drops_reported = 0  # per-incarnation FIFO drops already evented
@@ -185,7 +188,7 @@ class DetectorSession:
         self.draining = False
         self._last_time_s = 0.0
         self._last_det_index = 0
-        self._generation = 0  # bumped at every bring-up; stale frames are flushed
+        self._generation = 0  # bumped at every bring-up  # reprolint: guarded-by(_lock)
         self._stream: FrameStream | None = None
         self.detector: RealTimeBlinkDetector | None = None
         self._blink_times: deque[float] = deque()
@@ -247,7 +250,7 @@ class DetectorSession:
             )
         )
 
-    def _metric(self, name: str):
+    def _metric(self, name: str) -> Counter:
         return self.metrics.counter(f"session.{self.session_id}.{name}")
 
     def _apex_time(self, anchor_time_s: float, anchor_index: int, event_index: int) -> float:
@@ -315,7 +318,7 @@ class DetectorSession:
         self._stop_requested = True
 
     # ------------------------------------------------------------ produce side
-    def produce(self) -> tuple[int, float, np.ndarray] | None:
+    def produce(self) -> FrameItem | None:
         """Advance one frame period; return ``(generation, time_s, frame)``.
 
         Called once per scheduling round by the pump thread; returns
@@ -359,7 +362,9 @@ class DetectorSession:
         timestamp, frame = item
         world_time = self._base_cursor * self._period_s + timestamp
         self._last_time_s = world_time
-        return self._generation, world_time, frame
+        with self._lock:
+            generation = self._generation
+        return generation, world_time, frame
 
     def _account_fifo_drops(self) -> None:
         dropped = self._stream.dropped
@@ -400,7 +405,7 @@ class DetectorSession:
         self._emit(RestartEvent(self.session_id, self.time_s, reason, attempts=attempts))
 
     # ------------------------------------------------------------ process side
-    def process(self, item: tuple[int, float, np.ndarray], enqueued_at: float | None = None) -> None:
+    def process(self, item: FrameItem, enqueued_at: float | None = None) -> None:
         """Run the detector over one produced item (worker side, serialized).
 
         Frames queued before a restart (older generation) are flushed,

@@ -1,0 +1,39 @@
+"""reprolint — AST-based invariant checker for this reproduction.
+
+A dependency-free static-analysis framework enforcing the conventions
+the codebase's correctness rests on:
+
+- **determinism** (``wall-clock``, ``global-rng``) — the pure
+  simulation packages must be bit-reproducible from a seed;
+- **units discipline** (``unit-suffix``, ``unit-mismatch``) — physical
+  quantities carry their unit in the name, and units never cross
+  families silently;
+- **lock discipline** (``guarded-by``) — state written under a lock is
+  always accessed under it;
+- **API hygiene** (``mutable-default``, ``except-hygiene``,
+  ``no-assert``, ``or-default``).
+
+Run it with ``python -m repro lint [paths]``; see
+``docs/static_analysis.md`` for the full catalogue, suppression pragmas
+and the baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import check_file, discover_files, lint_paths
+from repro.lint.reporters import LintResult, render_json, render_text
+from repro.lint.rules import LintRule, all_rules, rules_by_name
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "LintResult",
+    "LintRule",
+    "all_rules",
+    "check_file",
+    "discover_files",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rules_by_name",
+]

@@ -1,0 +1,85 @@
+"""Baseline file: acknowledged findings that don't fail the build.
+
+A baseline lets the lint gate turn on before every legacy finding is
+fixed: known findings are recorded (by position-independent
+fingerprint, with a count) and subtracted from each run. New findings
+still fail; fixed findings surface as *stale* entries so the baseline
+shrinks monotonically instead of fossilising.
+
+Format (JSON, committed at the repo root)::
+
+    {"version": 1,
+     "entries": {"src/repro/x.py::rule::message": 2, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = ".reprolint.json"
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → acknowledged occurrence count."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a reprolint baseline file")
+        version = payload.get("version")
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported baseline version {version!r}")
+        entries = payload["entries"]
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in entries.items()
+        ):
+            raise ValueError(f"{path}: malformed baseline entries")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        """A baseline acknowledging exactly the given findings."""
+        return cls(entries=dict(Counter(d.fingerprint() for d in diagnostics)))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline (sorted keys: diff-friendly)."""
+        payload = {"version": _VERSION, "entries": dict(sorted(self.entries.items()))}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def partition(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], int, list[str]]:
+        """Split findings into (new, baselined_count, stale_fingerprints).
+
+        Each baseline entry absorbs up to its count of matching
+        findings; the remainder is new. Entries that matched nothing
+        are stale — the finding was fixed and the entry should go.
+        """
+        budget = dict(self.entries)
+        fresh: list[Diagnostic] = []
+        absorbed = 0
+        for diag in diagnostics:
+            key = diag.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(diag)
+        stale = sorted(key for key, count in budget.items() if count > 0)
+        return fresh, absorbed, stale

@@ -1,0 +1,133 @@
+"""``python -m repro lint`` — the reprolint command.
+
+Kept separate from :mod:`repro.cli` so the linter stays importable
+without numpy/scipy: CI can gate on lint even in an environment where
+the scientific stack is absent.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import default_jobs, lint_paths
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import all_rules, rules_by_name
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with repro.cli)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"parallel analysis threads (default: {default_jobs()})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME}; missing = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to acknowledge every current finding, then exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULE[,RULE]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _select_rules(spec: str | None) -> tuple:
+    registry = rules_by_name()
+    if spec is None:
+        return all_rules()
+    chosen = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise SystemExit(f"reprolint: unknown rule {name!r} (known: {known})")
+        chosen.append(registry[name])
+    if not chosen:
+        raise SystemExit("reprolint: --rules selected nothing")
+    return tuple(chosen)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:18} {rule.summary}")
+        return 0
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit("reprolint: --jobs must be >= 1")
+
+    rules = _select_rules(args.rules)
+    baseline_path = Path(args.baseline)
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"reprolint: no such path: {', '.join(map(str, missing))}")
+
+    if args.update_baseline:
+        # Findings still suppressed inline stay suppressed; the baseline
+        # only absorbs what would otherwise be reported.
+        result = lint_paths(paths, rules=rules, baseline=Baseline(), jobs=args.jobs)
+        Baseline.from_diagnostics(result.diagnostics).save(baseline_path)
+        print(
+            f"reprolint: baseline {baseline_path} updated "
+            f"({len(result.diagnostics)} findings acknowledged)"
+        )
+        return 0
+
+    result = lint_paths(paths, rules=rules, baseline=baseline, jobs=args.jobs)
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the BlinkRadar reproduction.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

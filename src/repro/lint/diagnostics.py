@@ -1,0 +1,41 @@
+"""Diagnostic records produced by reprolint rules.
+
+A :class:`Diagnostic` is deliberately plain: a path, a position, a rule
+name and a human-readable message. Everything downstream — suppression,
+baselining, reporting — works on these records, so rules never need to
+know how their findings are filtered or rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding at one source position.
+
+    Field order doubles as the sort order (path, then line, then
+    column), which gives reporters a stable, diff-friendly output
+    independent of which worker thread produced the finding first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Position-independent identity used by the baseline file.
+
+        Line/column are excluded on purpose: editing an unrelated part
+        of a file must not invalidate its baselined findings.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        """The classic one-line ``path:line:col: [rule] message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"

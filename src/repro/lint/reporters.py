@@ -1,0 +1,79 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["LintResult", "render_text", "render_json"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, post filtering."""
+
+    #: Findings that fail the run (not suppressed, not baselined).
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Findings absorbed by inline ``disable=`` pragmas.
+    suppressed: int = 0
+    #: Findings absorbed by the baseline file.
+    baselined: int = 0
+    #: Baseline fingerprints that matched fewer findings than recorded.
+    stale_baseline: list[str] = field(default_factory=list)
+    #: Files analysed.
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0."""
+        return not self.diagnostics
+
+    def summary(self) -> str:
+        """One human line: counts of findings/files/filters."""
+        parts = [
+            f"{len(self.diagnostics)} finding{'s' if len(self.diagnostics) != 1 else ''}",
+            f"{self.files} files",
+        ]
+        if self.suppressed:
+            parts.append(f"{self.suppressed} suppressed inline")
+        if self.baselined:
+            parts.append(f"{self.baselined} baselined")
+        if self.stale_baseline:
+            parts.append(f"{len(self.stale_baseline)} stale baseline entries")
+        return "reprolint: " + ", ".join(parts)
+
+
+def render_text(result: LintResult) -> str:
+    """Classic compiler-style report."""
+    lines = [diag.render() for diag in result.diagnostics]
+    for fingerprint in result.stale_baseline:
+        lines.append(f"note: stale baseline entry (finding fixed?): {fingerprint}")
+    lines.append(result.summary())
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "findings": [
+            {
+                "path": d.path,
+                "line": d.line,
+                "col": d.col,
+                "rule": d.rule,
+                "message": d.message,
+            }
+            for d in result.diagnostics
+        ],
+        "summary": {
+            "findings": len(result.diagnostics),
+            "files": result.files,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline": list(result.stale_baseline),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,198 @@
+"""Determinism rules: the pure packages must be replayable from a seed.
+
+Everything under ``repro.core`` / ``dsp`` / ``sim`` / ``rf`` / ``physio``
+/ ``vehicle`` / ``datasets`` / ``baselines`` implements the paper's
+maths (Eq. (1)-(9) and the simulation substrate behind them); a result
+there must be a pure function of its inputs and an explicit
+``np.random.Generator``. Wall-clock reads, sleeps, and the global numpy
+or stdlib RNG state all break bit-reproducibility — and with it every
+regression test that pins a seeded output.
+
+``repro.fleet`` and ``repro.core.realtime`` are service code, where
+wall-clock latency measurement and pacing sleeps are the point; they
+are allowlisted wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule, dotted_name
+
+__all__ = ["PURE_PACKAGES", "WallClockRule", "GlobalRngRule", "RULES"]
+
+#: Packages whose output must be a pure function of (inputs, seed).
+PURE_PACKAGES = frozenset(
+    {"core", "dsp", "sim", "rf", "physio", "vehicle", "datasets", "baselines"}
+)
+
+#: Modules inside a pure package that are explicitly service-side.
+ALLOWLISTED_MODULES = frozenset({("core", "realtime")})
+
+#: Dotted-call suffixes that read the wall clock or stall the thread.
+_BANNED_CALL_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: ``from time import <name>`` imports that smuggle the clock in unqualified.
+_BANNED_TIME_IMPORTS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: ``np.random.<attr>`` spellings that do NOT touch the global RNG state.
+_SAFE_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",  # seedable instance state, not the module-global stream
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` names that are fine (seedable instances / types).
+_SAFE_STDLIB_RANDOM = frozenset({"Random"})
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    parts = ctx.module_parts
+    if parts is None or parts[0] not in PURE_PACKAGES:
+        return False
+    return parts[: len(next(iter(ALLOWLISTED_MODULES)))] not in ALLOWLISTED_MODULES
+
+
+class WallClockRule(LintRule):
+    """No wall-clock reads or sleeps in the pure packages."""
+
+    name = "wall-clock"
+    summary = (
+        "pure packages (core/dsp/sim/rf/physio/vehicle/datasets/baselines) "
+        "must not read the wall clock or sleep"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                for suffix in _BANNED_CALL_SUFFIXES:
+                    if dotted == suffix or dotted.endswith("." + suffix):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"{dotted}() is nondeterministic here; pure packages "
+                            "must derive time from frame indices and the frame rate",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _BANNED_TIME_IMPORTS:
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"'from time import {alias.name}' brings the wall clock "
+                            "into a pure package",
+                        )
+
+
+class GlobalRngRule(LintRule):
+    """Randomness must flow through an explicitly seeded Generator."""
+
+    name = "global-rng"
+    summary = (
+        "pure packages must thread an explicit np.random.Generator; "
+        "global RNG state and unseeded default_rng() are banned"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _SAFE_STDLIB_RANDOM:
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"'from random import {alias.name}' uses the global "
+                            "stdlib RNG; thread a seeded np.random.Generator instead",
+                        )
+
+    def _check_attribute(
+        self, ctx: FileContext, node: ast.Attribute
+    ) -> Iterable[Diagnostic]:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            if parts[2] not in _SAFE_NP_RANDOM:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"{dotted} mutates/reads numpy's global RNG state; "
+                    "thread a seeded np.random.Generator instead",
+                )
+        elif len(parts) == 2 and parts[0] == "random" and parts[1] not in _SAFE_STDLIB_RANDOM:
+            # stdlib module-level functions (random.random, random.seed, ...)
+            # share one hidden global stream.
+            if parts[1][:1].islower():
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"{dotted} uses the global stdlib RNG; "
+                    "thread a seeded np.random.Generator instead",
+                )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterable[Diagnostic]:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            yield self.diagnostic(
+                ctx,
+                node,
+                "default_rng() without a seed draws OS entropy; "
+                "pass an explicit seed or accept a Generator parameter",
+            )
+
+
+RULES: tuple[LintRule, ...] = (WallClockRule(), GlobalRngRule())

@@ -1,0 +1,248 @@
+"""Units-discipline rules: physical quantities carry their unit in the name.
+
+The reproduction keeps Eq. (1)-(9) dimensionally honest by convention:
+a float that means seconds is called ``*_s``, a frequency ``*_hz``, a
+distance ``*_m``. Two rules machine-check the convention:
+
+- ``unit-suffix`` — a float parameter or annotated class field whose
+  name contains a physical-quantity stem (``duration``, ``rate``,
+  ``distance``, ...) must end in a recognised unit suffix.
+- ``unit-mismatch`` — a value spelled with one unit family must not be
+  passed/assigned to a slot named in another family
+  (``window_s=frame_rate_hz`` is a dimensional error the type system
+  cannot see).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule
+
+__all__ = ["UnitSuffixRule", "UnitMismatchRule", "RULES", "suffix_family"]
+
+#: Recognised unit suffixes, grouped by dimension family.
+FAMILIES: dict[str, frozenset[str]] = {
+    "time": frozenset({"s", "ms", "us", "ns", "min", "h"}),
+    "frequency": frozenset({"hz", "khz", "mhz", "ghz", "bpm", "fps"}),
+    "length": frozenset({"m", "mm", "cm", "um", "nm", "km"}),
+    "angle": frozenset({"deg", "rad"}),
+    "level": frozenset({"db", "dbm", "lux"}),
+}
+
+#: Dimensionless suffixes that satisfy the naming rule without belonging
+#: to a unit family: counts (``backoff_frames``, ``depth_bins``) and
+#: self-describing ratios (``duration_sigmas``, ``interval_cv``,
+#: ``rate_jitter_frac``).
+COUNT_SUFFIXES = frozenset(
+    {"frames", "bins", "samples", "bytes", "taps", "pct", "sigmas", "cv", "frac", "ratio"}
+)
+
+#: Name stems that mark a float as a physical quantity, and the family
+#: its suffix is expected to come from.
+STEMS: dict[str, str] = {
+    "duration": "time",
+    "timeout": "time",
+    "delay": "time",
+    "latency": "time",
+    "period": "time",
+    "interval": "time",
+    "refractory": "time",
+    "elapsed": "time",
+    "freq": "frequency",
+    "frequency": "frequency",
+    "rate": "frequency",
+    "bandwidth": "frequency",
+    "prf": "frequency",
+    "distance": "length",
+    "wavelength": "length",
+    "displacement": "length",
+    "azimuth": "angle",
+    "elevation": "angle",
+    "tilt": "angle",
+}
+
+_ALL_UNITS = frozenset().union(*FAMILIES.values())
+
+
+def suffix_family(name: str) -> str | None:
+    """The unit family a name's suffix claims, or None.
+
+    ``*_per_min`` / ``*_per_s`` style rate spellings map to
+    ``frequency`` regardless of the terminal token.
+    """
+    tokens = name.lower().split("_")
+    if len(tokens) >= 2 and tokens[-2] == "per":
+        return "frequency"
+    last = tokens[-1]
+    for family, suffixes in FAMILIES.items():
+        if last in suffixes:
+            return family
+    return None
+
+
+def _has_unit_or_count_suffix(name: str) -> bool:
+    tokens = name.lower().split("_")
+    if suffix_family(name) is not None:
+        return True
+    return tokens[-1] in COUNT_SUFFIXES
+
+
+def _expected_family(name: str) -> str | None:
+    """The family a quantity-stemmed name should be suffixed from."""
+    for token in name.lower().split("_"):
+        if token in STEMS:
+            return STEMS[token]
+    return None
+
+
+def _is_float_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    return any(
+        isinstance(node, ast.Name) and node.id == "float"
+        for node in ast.walk(annotation)
+    )
+
+
+def _is_float_default(default: ast.expr | None) -> bool:
+    if isinstance(default, ast.Constant):
+        return isinstance(default.value, float)
+    if isinstance(default, ast.UnaryOp) and isinstance(default.op, (ast.USub, ast.UAdd)):
+        return _is_float_default(default.operand)
+    return False
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """The last identifier of a Name/Attribute chain (``a.b.c`` → ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class UnitSuffixRule(LintRule):
+    """Quantity-stemmed float parameters/fields need a unit suffix."""
+
+    name = "unit-suffix"
+    summary = (
+        "float parameters/fields named like physical quantities must carry "
+        "a unit suffix (_s, _hz, _m, ...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class_fields(ctx, node)
+
+    def _check_signature(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Diagnostic]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        defaults: list[ast.expr | None] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        kw_defaults = list(args.kw_defaults)
+        for arg, default in list(zip(positional, defaults)) + list(
+            zip(args.kwonlyargs, kw_defaults)
+        ):
+            yield from self._check_named_float(ctx, arg, arg.arg, arg.annotation, default)
+
+    def _check_class_fields(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterable[Diagnostic]:
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                yield from self._check_named_float(
+                    ctx, stmt, stmt.target.id, stmt.annotation, stmt.value
+                )
+
+    def _check_named_float(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        name: str,
+        annotation: ast.expr | None,
+        default: ast.expr | None,
+    ) -> Iterable[Diagnostic]:
+        if not (_is_float_annotation(annotation) or _is_float_default(default)):
+            return
+        family = _expected_family(name)
+        if family is None or _has_unit_or_count_suffix(name):
+            return
+        units = "/".join(sorted(FAMILIES[family]))
+        yield self.diagnostic(
+            ctx,
+            node,
+            f"float {name!r} looks like a {family} quantity but has no unit "
+            f"suffix (expected one of: {units}, or a count suffix)",
+        )
+
+
+class UnitMismatchRule(LintRule):
+    """A ``*_hz`` value must not flow into a ``*_s`` slot (and so on)."""
+
+    name = "unit-mismatch"
+    summary = "values with one unit suffix must not be bound to names of another family"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    yield from self._check_binding(
+                        ctx, keyword.value, keyword.arg, keyword.value, "keyword"
+                    )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = _terminal_identifier(node.targets[0])
+                if target is not None:
+                    yield from self._check_binding(
+                        ctx, node, target, node.value, "assignment"
+                    )
+
+    @staticmethod
+    def _bindable_family(name: str) -> str | None:
+        # A bare `m` or `s` is an ordinary variable, not a unit claim;
+        # only suffixed multi-token names (`time_s`, `rate_hz`) bind.
+        if "_" not in name.strip("_"):
+            return None
+        return suffix_family(name)
+
+    def _check_binding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        slot_name: str,
+        value: ast.expr,
+        kind: str,
+    ) -> Iterable[Diagnostic]:
+        slot_family = self._bindable_family(slot_name)
+        if slot_family is None:
+            return
+        value_name = _terminal_identifier(value)
+        if value_name is None:
+            return
+        value_family = self._bindable_family(value_name)
+        if value_family is None or value_family == slot_family:
+            return
+        yield self.diagnostic(
+            ctx,
+            node,
+            f"{kind} binds {value_name!r} ({value_family}) to "
+            f"{slot_name!r} ({slot_family}); convert units explicitly",
+        )
+
+
+RULES: tuple[LintRule, ...] = (UnitSuffixRule(), UnitMismatchRule())

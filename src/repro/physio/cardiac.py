@@ -31,19 +31,19 @@ class CardiacModel:
         Mean heart rate; 1.15 Hz = 69 bpm.
     bcg_amplitude_m:
         Peak head displacement per beat (~1 mm per the paper).
-    rate_jitter:
+    rate_jitter_frac:
         Beat-to-beat fractional variability of the RR interval.
     """
 
     rate_hz: float = 1.15
     bcg_amplitude_m: float = 1.0e-3
-    rate_jitter: float = 0.05
+    rate_jitter_frac: float = 0.05
 
     def __post_init__(self) -> None:
         if self.rate_hz <= 0 or self.bcg_amplitude_m <= 0:
             raise ValueError("rate and amplitude must be positive")
-        if self.rate_jitter < 0:
-            raise ValueError("rate_jitter must be >= 0")
+        if self.rate_jitter_frac < 0:
+            raise ValueError("rate_jitter_frac must be >= 0")
 
     def beat_times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
         """Beat onset times (s) over ``[0, duration_s)`` with HRV jitter."""
@@ -54,7 +54,7 @@ class CardiacModel:
         t = float(rng.uniform(0, mean_rr))
         while t < duration_s:
             times.append(t)
-            rr = mean_rr * float(np.exp(rng.normal(0.0, self.rate_jitter)))
+            rr = mean_rr * float(np.exp(rng.normal(0.0, self.rate_jitter_frac)))
             t += max(rr, 0.3)  # hard floor: 200 bpm
         return np.array(times)
 

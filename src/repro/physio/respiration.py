@@ -38,7 +38,7 @@ class RespirationModel:
     harmonic_ratio:
         Relative amplitude of the second harmonic shaping the asymmetric
         inhale/exhale.
-    rate_jitter:
+    rate_jitter_frac:
         Fractional std of the slowly wandering instantaneous rate.
     head_coupling:
         Fraction of chest displacement that appears as head/shoulder sway
@@ -52,7 +52,7 @@ class RespirationModel:
     rate_hz: float = 0.25
     amplitude_m: float = 5.0e-3
     harmonic_ratio: float = 0.25
-    rate_jitter: float = 0.08
+    rate_jitter_frac: float = 0.08
     head_coupling: float = 0.5
 
     def __post_init__(self) -> None:
@@ -60,8 +60,8 @@ class RespirationModel:
             raise ValueError("rate and amplitude must be positive")
         if not 0 <= self.harmonic_ratio <= 1 or not 0 <= self.head_coupling <= 1:
             raise ValueError("harmonic_ratio and head_coupling must be in [0, 1]")
-        if self.rate_jitter < 0:
-            raise ValueError("rate_jitter must be >= 0")
+        if self.rate_jitter_frac < 0:
+            raise ValueError("rate_jitter_frac must be >= 0")
 
     def displacement(
         self, n_frames: int, frame_rate_hz: float, rng: np.random.Generator
@@ -77,7 +77,7 @@ class RespirationModel:
         dt = 1.0 / frame_rate_hz
         # Smooth random walk of the instantaneous rate, clipped to stay
         # physiological.
-        steps = rng.normal(scale=self.rate_jitter * self.rate_hz * np.sqrt(dt), size=n_frames)
+        steps = rng.normal(scale=self.rate_jitter_frac * self.rate_hz * np.sqrt(dt), size=n_frames)
         inst_rate = np.clip(
             self.rate_hz + np.cumsum(steps) * 0.15, 0.6 * self.rate_hz, 1.6 * self.rate_hz
         )

@@ -1,0 +1,201 @@
+"""Determinism rules: wall-clock and global-RNG bans in the pure packages."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestWallClock:
+    def test_time_time_in_sim_is_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            rel="repro/sim/clock.py",
+        )
+        assert names == ["wall-clock"]
+
+    @pytest.mark.parametrize(
+        "call",
+        ["time.perf_counter()", "time.sleep(0.1)", "time.monotonic()", "time.time_ns()"],
+    )
+    def test_other_clock_calls_flagged(self, linter, call):
+        names = linter.rule_names(
+            f"""
+            import time
+
+            def f():
+                return {call}
+            """,
+            rel="repro/dsp/clock.py",
+        )
+        assert names == ["wall-clock"]
+
+    def test_datetime_now_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import datetime
+
+            def f():
+                return datetime.datetime.now()
+            """,
+            rel="repro/rf/clock.py",
+        )
+        assert names == ["wall-clock"]
+
+    def test_from_import_of_clock_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from time import perf_counter
+            """,
+            rel="repro/physio/clock.py",
+        )
+        assert names == ["wall-clock"]
+
+    def test_fleet_is_allowlisted(self, linter):
+        names = linter.rule_names(
+            """
+            import time
+
+            def f():
+                time.sleep(0.1)
+                return time.perf_counter()
+            """,
+            rel="repro/fleet/pacing.py",
+        )
+        assert names == []
+
+    def test_core_realtime_is_allowlisted(self, linter):
+        names = linter.rule_names(
+            """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """,
+            rel="repro/core/realtime.py",
+        )
+        assert names == []
+
+    def test_outside_repro_tree_not_in_scope(self, linter):
+        names = linter.rule_names(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            rel="scripts/clock.py",
+        )
+        assert names == []
+
+    def test_frame_index_time_is_fine(self, linter):
+        names = linter.rule_names(
+            """
+            def time_of(frame_index, frame_rate_hz):
+                return frame_index / frame_rate_hz
+            """,
+            rel="repro/sim/clock.py",
+        )
+        assert names == []
+
+
+class TestGlobalRng:
+    @pytest.mark.parametrize(
+        "expr",
+        ["np.random.seed(0)", "np.random.normal()", "np.random.rand(4)", "np.random.randint(3)"],
+    )
+    def test_global_numpy_rng_flagged(self, linter, expr):
+        names = linter.rule_names(
+            f"""
+            import numpy as np
+
+            def f():
+                return {expr}
+            """,
+            rel="repro/sim/noise.py",
+        )
+        assert "global-rng" in names
+
+    def test_seeded_default_rng_ok(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def f(seed: int):
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=8)
+            """,
+            rel="repro/sim/noise.py",
+        )
+        assert names == []
+
+    def test_unseeded_default_rng_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """,
+            rel="repro/sim/noise.py",
+        )
+        assert names == ["global-rng"]
+
+    def test_stdlib_random_module_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import random
+
+            def f():
+                return random.random()
+            """,
+            rel="repro/datasets/noise.py",
+        )
+        assert "global-rng" in names
+
+    def test_stdlib_from_import_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from random import gauss
+            """,
+            rel="repro/baselines/noise.py",
+        )
+        assert names == ["global-rng"]
+
+    def test_seedable_stdlib_random_instance_ok(self, linter):
+        names = linter.rule_names(
+            """
+            from random import Random
+
+            def f(seed: int):
+                return Random(seed).random()
+            """,
+            rel="repro/baselines/noise.py",
+        )
+        assert names == []
+
+    def test_generator_methods_ok(self, linter):
+        names = linter.rule_names(
+            """
+            def f(rng):
+                return rng.normal(0.0, 1.0, size=16)
+            """,
+            rel="repro/vehicle/noise.py",
+        )
+        assert names == []
+
+    def test_fleet_allowlisted_for_rng_too(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """,
+            rel="repro/fleet/jitter.py",
+        )
+        assert names == []

@@ -1,0 +1,253 @@
+"""Lock-discipline (guarded-by) rule tests."""
+
+from __future__ import annotations
+
+_REL = "repro/fleet/shared.py"
+
+
+class TestGuardedBy:
+    def test_unguarded_read_flagged(self, linter):
+        findings = linter.findings(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count
+            """,
+            rel=_REL,
+        )
+        assert [d.rule for d in findings] == ["guarded-by"]
+        assert "self._count" in findings[0].message
+        assert "peek()" in findings[0].message
+
+    def test_unguarded_write_flagged(self, linter):
+        findings = linter.findings(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    self._count = 0
+            """,
+            rel=_REL,
+        )
+        assert [d.rule for d in findings] == ["guarded-by"]
+        assert "written in reset()" in findings[0].message
+
+    def test_fully_guarded_class_clean(self, linter):
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def peek(self):
+                        with self._lock:
+                            return self._count
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+    def test_init_writes_exempt(self, linter):
+        # Construction happens before the object is shared.
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+                        self._count = self._count + 1
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+    def test_condition_counts_as_lock(self, linter):
+        findings = linter.findings(
+            """
+            import threading
+
+            class Pump:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._running = False
+
+                def start(self):
+                    self._running = True
+
+                def stop(self):
+                    with self._cond:
+                        self._running = False
+            """,
+            rel=_REL,
+        )
+        assert [d.rule for d in findings] == ["guarded-by"]
+        assert "self._cond" in findings[0].message
+
+    def test_unrelated_unlocked_attr_not_flagged(self, linter):
+        # _label is never written under the lock: plain unshared state.
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._label = "x"
+
+                    def rename(self, label):
+                        self._label = label
+
+                    def read(self):
+                        return self._label
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+    def test_class_without_locks_ignored(self, linter):
+        assert (
+            linter.rule_names(
+                """
+                class Plain:
+                    def __init__(self):
+                        self._x = 0
+
+                    def bump(self):
+                        self._x += 1
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+
+class TestGuardedByAnnotations:
+    def test_declaration_in_init_flags_all_unlocked_accesses(self, linter):
+        # No method ever writes under the lock, but the declaration
+        # states the intent — so the unlocked read is still a finding.
+        findings = linter.findings(
+            """
+            import threading
+
+            class Shared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = "init"  # reprolint: guarded-by(_lock)
+
+                def peek(self):
+                    return self._state
+            """,
+            rel=_REL,
+        )
+        assert [d.rule for d in findings] == ["guarded-by"]
+        assert "read in peek()" in findings[0].message
+
+    def test_method_level_pragma_means_caller_holds_lock(self, linter):
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._bump_locked()
+
+                    def _bump_locked(self):  # reprolint: guarded-by(_lock)
+                        self._count += 1
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+    def test_unguarded_ok_on_access_line(self, linter):
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._count = 0
+
+                    def bump(self):
+                        with self._lock:
+                            self._count += 1
+
+                    def peek_racy(self):
+                        return self._count  # reprolint: unguarded-ok
+                """,
+                rel=_REL,
+            )
+            == []
+        )
+
+    def test_unguarded_ok_declaration_exempts_attribute(self, linter):
+        assert (
+            linter.rule_names(
+                """
+                import threading
+
+                class Shared:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._hint = 0  # reprolint: unguarded-ok
+
+                    def bump(self):
+                        with self._lock:
+                            self._hint += 1
+
+                    def peek(self):
+                        return self._hint
+
+                    def reset(self):
+                        self._hint = 0
+                """,
+                rel=_REL,
+            )
+            == []
+        )

@@ -1,0 +1,154 @@
+"""Units-discipline rules: suffix presence and family compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestUnitSuffix:
+    def test_bare_duration_param_flagged(self, linter):
+        findings = linter.findings(
+            """
+            def simulate(duration: float):
+                return duration * 2
+            """,
+            rel="repro/sim/run.py",
+        )
+        assert [d.rule for d in findings] == ["unit-suffix"]
+        assert "time" in findings[0].message
+
+    def test_suffixed_params_ok(self, linter):
+        names = linter.rule_names(
+            """
+            def simulate(duration_s: float, frame_rate_hz: float, distance_m: float):
+                return duration_s * frame_rate_hz * distance_m
+            """,
+            rel="repro/sim/run.py",
+        )
+        assert names == []
+
+    def test_dataclass_field_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                rate: float = 1.0
+            """,
+            rel="repro/physio/config.py",
+        )
+        assert names == ["unit-suffix"]
+
+    def test_int_quantity_not_flagged(self, linter):
+        # frame_rate_div is a divider (a count), not a physical float.
+        names = linter.rule_names(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                frame_rate_div: int = 4
+            """,
+            rel="repro/hardware/config.py",
+        )
+        assert names == []
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "duration_sigmas: float = 8.0",
+            "interval_cv: float = 0.5",
+            "rate_jitter_frac: float = 0.05",
+            "rate_per_min: float = 17.0",
+            "backoff_frames: float = 10.0",
+        ],
+    )
+    def test_dimensionless_suffixes_ok(self, linter, field):
+        names = linter.rule_names(
+            f"""
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                {field}
+            """,
+            rel="repro/physio/config.py",
+        )
+        assert names == []
+
+    def test_elevation_needs_angle_suffix(self, linter):
+        findings = linter.findings(
+            """
+            def aim(elevation: float = 10.0):
+                return elevation
+            """,
+            rel="repro/rf/aim.py",
+        )
+        assert [d.rule for d in findings] == ["unit-suffix"]
+        assert "angle" in findings[0].message
+
+
+class TestUnitMismatch:
+    def test_hz_into_seconds_keyword_flagged(self, linter):
+        findings = linter.findings(
+            """
+            def f(window_s: float = 1.0):
+                return window_s
+
+            def g(frame_rate_hz: float):
+                return f(window_s=frame_rate_hz)
+            """,
+            rel="repro/core/mix.py",
+        )
+        assert [d.rule for d in findings] == ["unit-mismatch"]
+        assert "frequency" in findings[0].message and "time" in findings[0].message
+
+    def test_same_family_keyword_ok(self, linter):
+        names = linter.rule_names(
+            """
+            def f(window_s: float = 1.0):
+                return window_s
+
+            def g(duration_s: float):
+                return f(window_s=duration_s)
+            """,
+            rel="repro/core/mix.py",
+        )
+        assert names == []
+
+    def test_converted_expression_ok(self, linter):
+        # 1/rate_hz is a BinOp, not a suffixed name: explicit conversion passes.
+        names = linter.rule_names(
+            """
+            def g(rate_hz: float):
+                period_s = 1.0 / rate_hz
+                return period_s
+            """,
+            rel="repro/core/mix.py",
+        )
+        assert names == []
+
+    def test_assignment_mismatch_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            def g(rate_hz: float):
+                period_s = rate_hz
+                return period_s
+            """,
+            rel="repro/core/mix.py",
+        )
+        assert names == ["unit-mismatch"]
+
+    def test_single_letter_names_do_not_bind_units(self, linter):
+        # A bare `m` or `s` is an ordinary variable, not a metres claim.
+        names = linter.rule_names(
+            """
+            def g(time_s: float):
+                s = time_s
+                m = s
+                return m
+            """,
+            rel="repro/core/mix.py",
+        )
+        assert names == []

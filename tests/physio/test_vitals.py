@@ -72,7 +72,7 @@ class TestCardiac:
         assert track.min() < -0.1e-3
 
     def test_rr_floor(self, rng):
-        model = CardiacModel(rate_hz=3.0, rate_jitter=1.0)
+        model = CardiacModel(rate_hz=3.0, rate_jitter_frac=1.0)
         beats = model.beat_times(60.0, rng)
         assert np.diff(beats).min() >= 0.3 - 1e-12
 
