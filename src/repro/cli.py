@@ -41,7 +41,7 @@ from repro.eval.sweeps import (
     glasses_sweep,
     road_group_sweep,
 )
-from repro.lint.cli import add_lint_arguments, run_lint
+from repro.lint.cli import add_lint_arguments, run_lint_safely
 from repro.physio import ParticipantProfile
 from repro.rf.geometry import SensorPose
 from repro.vehicle.road import ROAD_GROUPS, ROAD_TYPES
@@ -263,7 +263,7 @@ def main(argv: list[str] | None = None) -> int:
         "vitals": _cmd_vitals,
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
-        "lint": run_lint,
+        "lint": run_lint_safely,
     }
     return handlers[args.command](args)
 

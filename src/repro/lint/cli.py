@@ -8,14 +8,27 @@ the scientific stack is absent.
 from __future__ import annotations
 
 import argparse
+import subprocess
 from pathlib import Path
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.lint.engine import default_jobs, lint_paths
-from repro.lint.reporters import render_json, render_text
+from repro.lint.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.lint.engine import default_jobs, discover_files, lint_paths
+from repro.lint.reporters import (
+    EXIT_ERROR,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.rules import all_rules, rules_by_name
 
-__all__ = ["add_lint_arguments", "run_lint", "main"]
+__all__ = [
+    "add_lint_arguments",
+    "changed_files",
+    "run_lint",
+    "run_lint_safely",
+    "main",
+]
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -28,9 +41,36 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout (summary still prints)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files changed vs the git REF (default when bare: HEAD), "
+        "plus untracked files, intersected with the given paths",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=f"memoise per-file results under {DEFAULT_CACHE_DIR}/ keyed on "
+        "content + rule set; unchanged files are not re-analysed",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"cache location when --cache is on (default: {DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
         "--jobs",
@@ -86,6 +126,46 @@ def _select_rules(spec: str | None) -> tuple:
     return tuple(chosen)
 
 
+def changed_files(ref: str, root: Path | None = None) -> set[Path]:
+    """Files changed vs ``ref`` plus untracked files, as resolved paths.
+
+    Raises ``SystemExit(2)`` when git cannot answer (not a repository,
+    unknown ref): a silent empty diff would report "clean" for a run
+    that never looked at anything.
+    """
+    base = root if root is not None else Path.cwd()
+    commands = (
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    )
+    names: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=base,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=60,
+            )
+        except (OSError, subprocess.SubprocessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = (exc.stderr or "").strip()
+            raise SystemExit(
+                f"reprolint: --changed could not run {' '.join(command)}: "
+                f"{detail or exc}"
+            ) from exc
+        names.update(name for name in proc.stdout.split("\0") if name)
+    return {(base / name).resolve() for name in names}
+
+
+def _narrow_to_changed(paths: list[Path], ref: str) -> list[Path]:
+    changed = changed_files(ref)
+    return [f for f in discover_files(paths) if f.resolve() in changed]
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
     if args.list_rules:
@@ -102,6 +182,9 @@ def run_lint(args: argparse.Namespace) -> int:
     missing = [p for p in paths if not p.exists()]
     if missing:
         raise SystemExit(f"reprolint: no such path: {', '.join(map(str, missing))}")
+    if args.changed is not None:
+        paths = _narrow_to_changed(paths, args.changed)
+    cache = ResultCache(Path(args.cache_dir)) if args.cache else None
 
     if args.update_baseline:
         # Findings still suppressed inline stay suppressed; the baseline
@@ -114,9 +197,38 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
-    result = lint_paths(paths, rules=rules, baseline=baseline, jobs=args.jobs)
-    print(render_json(result) if args.format == "json" else render_text(result))
-    return 0 if result.ok else 1
+    result = lint_paths(
+        paths, rules=rules, baseline=baseline, jobs=args.jobs, cache=cache
+    )
+    if args.format == "json":
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result, rules)
+    else:
+        report = render_text(result)
+    if args.output is not None:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(result.summary())
+    else:
+        print(report)
+    return result.exit_code
+
+
+def run_lint_safely(args: argparse.Namespace) -> int:
+    """:func:`run_lint` with internal faults mapped to exit code 2.
+
+    CI keys off the exit code: 1 means "the code broke policy", 2 means
+    "the linter itself did not produce a verdict" (crash, unreadable
+    input). A traceback leaking out as a generic nonzero exit would make
+    a tooling failure look like a finding.
+    """
+    try:
+        return run_lint(args)
+    except SystemExit:
+        raise  # usage errors keep argparse semantics
+    except Exception as exc:  # reprolint: disable=except-hygiene
+        print(f"reprolint: internal error: {type(exc).__name__}: {exc}")
+        return EXIT_ERROR
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -126,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         description="AST-based invariant checker for the BlinkRadar reproduction.",
     )
     add_lint_arguments(parser)
-    return run_lint(parser.parse_args(argv))
+    return run_lint_safely(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -9,7 +9,8 @@ rules only police the pure simulation packages).
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.lint.suppress import LinePragmas
 
@@ -46,6 +47,10 @@ class FileContext:
     tree: ast.Module
     pragmas: dict[int, LinePragmas]
     module_parts: tuple[str, ...] | None
+    #: Scratch space shared by the rules run over this file — the dataflow
+    #: layer memoises CFGs and solver solutions here so each function is
+    #: analysed once per file, not once per rule.
+    analysis_cache: dict[str, Any] = field(default_factory=dict)
 
     def pragma(self, line: int) -> LinePragmas | None:
         """Pragmas on a physical line (None when the line has none)."""

@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import ast
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
+from repro.lint.cache import ResultCache
 from repro.lint.context import FileContext, module_parts_of
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.reporters import LintResult
@@ -27,6 +29,14 @@ from repro.lint.suppress import scan_pragmas
 __all__ = ["discover_files", "check_file", "lint_paths", "default_jobs"]
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+#: CPython 3.11's AST-to-object converter keeps its recursion counter on
+#: the *interpreter*, not the thread (fixed in 3.12); two overlapping
+#: ``ast.parse`` calls can corrupt it when a GC pass runs Python-level
+#: finalizers mid-conversion and yields the GIL. Parsing is a small
+#: fraction of per-file work now that the dataflow rules dominate, so
+#: serialising just the parse keeps the fan-out and removes the race.
+_PARSE_LOCK = threading.Lock()
 
 
 def default_jobs() -> int:
@@ -65,16 +75,30 @@ def _display_path(path: Path, root: Path) -> str:
 
 
 def check_file(
-    path: Path, rules: tuple[LintRule, ...], root: Path
+    path: Path,
+    rules: tuple[LintRule, ...],
+    root: Path,
+    cache: ResultCache | None = None,
 ) -> tuple[list[Diagnostic], int]:
     """Analyse one file; returns (kept findings, inline-suppressed count)."""
     display = _display_path(path, root)
     try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
+        raw = path.read_bytes()
+    except OSError as exc:
+        return [Diagnostic(display, 1, 0, "parse-error", f"unreadable file: {exc}")], 0
+    key = ""
+    if cache is not None:
+        key = cache.key(display, raw, tuple(rule.name for rule in rules))
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    try:
+        source = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
         return [Diagnostic(display, 1, 0, "parse-error", f"unreadable file: {exc}")], 0
     try:
-        tree = ast.parse(source, filename=str(path))
+        with _PARSE_LOCK:
+            tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         line = exc.lineno or 1
         col = (exc.offset or 1) - 1
@@ -103,6 +127,8 @@ def check_file(
             suppressed += 1
         else:
             kept.append(diag)
+    if cache is not None:
+        cache.put(key, kept, suppressed)
     return kept, suppressed
 
 
@@ -112,6 +138,7 @@ def lint_paths(
     baseline: Baseline | None = None,
     jobs: int | None = None,
     root: Path | None = None,
+    cache: ResultCache | None = None,
 ) -> LintResult:
     """Lint every .py file under ``paths`` and return the filtered result.
 
@@ -128,6 +155,10 @@ def lint_paths(
     root:
         Directory that display paths / baseline fingerprints are made
         relative to (default: the current working directory).
+    cache:
+        Optional :class:`~repro.lint.cache.ResultCache`; files whose
+        content, path, and rule set match a cached entry are not
+        re-analysed.
     """
     active_rules = rules if rules is not None else all_rules()
     base = baseline if baseline is not None else Baseline()
@@ -138,11 +169,11 @@ def lint_paths(
     diagnostics: list[Diagnostic] = []
     suppressed = 0
     if workers <= 1 or len(files) <= 1:
-        per_file = [check_file(f, active_rules, anchor) for f in files]
+        per_file = [check_file(f, active_rules, anchor, cache) for f in files]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             per_file = list(
-                pool.map(lambda f: check_file(f, active_rules, anchor), files)
+                pool.map(lambda f: check_file(f, active_rules, anchor, cache), files)
             )
     for kept, file_suppressed in per_file:
         diagnostics.extend(kept)

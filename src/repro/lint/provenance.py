@@ -1,0 +1,125 @@
+"""Value-provenance classification for the dataflow rules.
+
+The dataflow rule families need one shared vocabulary: which expressions
+*mint* a tracked value (an RNG stream, a thread, a lock, an SPI/device
+handle, a detector session), which function parameters carry a seeded
+generator in from the caller, and which method calls *release* a tracked
+resource. Classification is by dotted spelling — the same convention the
+lexical rules use (``dotted_name``), which matches this repo's import
+style without needing whole-program import resolution.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.cfg import Element, FunctionLike
+from repro.lint.rules import dotted_name
+
+__all__ = [
+    "KIND_NOUN",
+    "RELEASE_METHODS",
+    "TRACKED_KINDS",
+    "binding_of",
+    "constructor_kind",
+    "rng_param_names",
+]
+
+#: RNG-minting callables: explicit-seed numpy generator constructors.
+_RNG_CTORS = frozenset({"default_rng", "Generator", "RandomState"})
+
+#: ``threading`` synchronisation primitives (provenance tag only — lock
+#: lifecycle is ``with``-governed everywhere and policed by guarded-by).
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: Hardware handle types from ``repro.hardware`` (no release method —
+#: tagged for provenance, exempt from lifecycle requirements).
+_HANDLE_CTORS = frozenset({"SpiBus", "XepDriver", "FrameStream", "UwbRadarDevice"})
+
+#: Resource kinds the lifecycle rule enforces, with the method names
+#: that count as releasing them on a path.
+RELEASE_METHODS: dict[str, frozenset[str]] = {
+    "thread": frozenset({"join"}),
+    "session": frozenset({"close"}),
+    "file": frozenset({"close"}),
+}
+
+#: Kinds with a known release protocol (the lifecycle rule's scope).
+TRACKED_KINDS = frozenset(RELEASE_METHODS)
+
+#: Human description per kind, used in diagnostics.
+KIND_NOUN: dict[str, str] = {
+    "rng": "seeded generator",
+    "thread": "thread",
+    "lock": "lock",
+    "handle": "hardware handle",
+    "session": "detector session",
+    "file": "file handle",
+}
+
+
+def constructor_kind(call: ast.Call) -> str | None:
+    """Provenance kind minted by ``call``, or None for untracked calls."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    last = parts[-1]
+    if last in _RNG_CTORS:
+        return "rng"
+    if last == "Thread" and (len(parts) == 1 or parts[-2] == "threading"):
+        return "thread"
+    if last in _LOCK_CTORS and (len(parts) == 1 or parts[-2] == "threading"):
+        return "lock"
+    if last in _HANDLE_CTORS:
+        return "handle"
+    if last == "DetectorSession":
+        return "session"
+    if dotted == "open":
+        return "file"
+    return None
+
+
+def rng_param_names(fn: FunctionLike) -> frozenset[str]:
+    """Parameters that carry a caller-seeded generator.
+
+    A parameter counts when its annotation names a ``Generator`` or when
+    its name follows the repo convention (``rng`` or ``*_rng``).
+    """
+    names: set[str] = set()
+    args = fn.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == "rng" or arg.arg.endswith("_rng"):
+            names.add(arg.arg)
+            continue
+        annotation = arg.annotation
+        if annotation is not None:
+            text = _annotation_text(annotation)
+            if "Generator" in text:
+                names.add(arg.arg)
+    return frozenset(names)
+
+
+def _annotation_text(annotation: ast.expr) -> str:
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value
+    try:
+        return ast.unparse(annotation)
+    except ValueError:
+        return ""
+
+
+def binding_of(element: Element) -> tuple[str, ast.expr] | None:
+    """``(name, value)`` when ``element`` binds one plain name to a value.
+
+    Only simple ``name = value`` / ``name: T = value`` forms qualify —
+    tuple unpacking and attribute targets are aliasing, not minting.
+    """
+    if isinstance(element, ast.Assign):
+        if len(element.targets) == 1 and isinstance(element.targets[0], ast.Name):
+            return element.targets[0].id, element.value
+        return None
+    if isinstance(element, ast.AnnAssign):
+        if element.value is not None and isinstance(element.target, ast.Name):
+            return element.target.id, element.value
+    return None

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON, and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
@@ -6,8 +6,27 @@ import json
 from dataclasses import dataclass, field
 
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule
 
-__all__ = ["LintResult", "render_text", "render_json"]
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "LintResult",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
+
+#: Exit-code contract (see ``docs/static_analysis.md``): CI can tell a
+#: policy failure (fix the code) from a broken run (fix the tooling).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Rules whose findings mean the *run* is unsound, not that code broke
+#: policy — an unparseable file was never actually analysed.
+_ERROR_RULES = frozenset({"parse-error"})
 
 
 @dataclass
@@ -29,6 +48,13 @@ class LintResult:
     def ok(self) -> bool:
         """True when the run should exit 0."""
         return not self.diagnostics
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 violations, 2 unparseable/unanalysed input."""
+        if any(d.rule in _ERROR_RULES for d in self.diagnostics):
+            return EXIT_ERROR
+        return EXIT_CLEAN if self.ok else EXIT_FINDINGS
 
     def summary(self) -> str:
         """One human line: counts of findings/files/filters."""
@@ -75,5 +101,70 @@ def render_json(result: LintResult) -> str:
             "stale_baseline": list(result.stale_baseline),
             "ok": result.ok,
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: Schema pinned by the SARIF 2.1.0 spec; the unit test validates
+#: rendered output against a vendored subset of this schema.
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(result: LintResult, rules: tuple[LintRule, ...]) -> str:
+    """SARIF 2.1.0 log, one run, for GitHub code-scanning upload.
+
+    Every active rule is listed in the driver metadata (so suppressed
+    runs still document the policy); each finding becomes a ``result``
+    with a 1-based region. ``parse-error`` findings are reported at
+    level ``error``, policy findings at ``warning`` — matching the
+    exit-code split.
+    """
+    rule_index = {rule.name: i for i, rule in enumerate(rules)}
+    sarif_rules: list[dict[str, object]] = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.summary or rule.name},
+        }
+        for rule in rules
+    ]
+    results: list[dict[str, object]] = []
+    for diag in result.diagnostics:
+        entry: dict[str, object] = {
+            "ruleId": diag.rule,
+            "level": "error" if diag.rule in _ERROR_RULES else "warning",
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.path},
+                        "region": {
+                            "startLine": max(1, diag.line),
+                            "startColumn": diag.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(diag.rule)
+        if index is not None:
+            entry["ruleIndex"] = index
+        results.append(entry)
+    payload: dict[str, object] = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

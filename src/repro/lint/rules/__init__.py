@@ -59,9 +59,17 @@ def dotted_name(node: ast.AST) -> str | None:
 
 def all_rules() -> tuple[LintRule, ...]:
     """Every registered rule, in catalogue order."""
-    from repro.lint.rules import determinism, hygiene, locks, units
+    from repro.lint.rules import (
+        deadflow,
+        determinism,
+        hygiene,
+        lifecycle,
+        locks,
+        rngflow,
+        units,
+    )
 
-    modules = (determinism, units, locks, hygiene)
+    modules = (determinism, rngflow, units, locks, hygiene, lifecycle, deadflow)
     out: list[LintRule] = []
     for module in modules:
         out.extend(module.RULES)

@@ -1,0 +1,208 @@
+"""Dead-flow rules: code the CFG proves can never matter.
+
+Three rules, all built on the dataflow layer:
+
+- ``unreachable-code`` — statements in CFG blocks no path from entry
+  reaches (code after a ``return``/``raise``, branches pruned by a
+  constant condition). Only the *head* of each unreachable region is
+  reported, so one early return does not produce a finding per line.
+- ``dead-store`` — an assignment to a unit-suffixed local
+  (``duration_s``, ``rate_hz``, …) whose value liveness proves is never
+  read. A dead store to a physical quantity is how a unit conversion
+  silently stops being applied.
+- ``discarded-result`` — an expression statement that calls a pure
+  ``repro.dsp`` function (or a curated ``repro.core`` analysis
+  function) and drops the result. ``fir_filter(x, taps)`` on its own
+  line filters nothing — a silent science bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.dataflow import file_cfgs, liveness_of
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.provenance import binding_of
+from repro.lint.rules import LintRule, dotted_name
+from repro.lint.rules.units import suffix_family
+
+__all__ = [
+    "UnreachableCodeRule",
+    "DeadStoreRule",
+    "DiscardedResultRule",
+    "RULES",
+]
+
+#: ``repro.core`` functions whose only effect is their return value.
+_PURE_CORE_FUNCTIONS = frozenset(
+    {
+        "estimate_blink_durations",
+        "window_metrics",
+        "result_window_features",
+        "variance_profile",
+        "find_clusters",
+        "select_eye_bin",
+        "blink_rate_windows",
+        "amplitude_series",
+        "phase_series",
+        "dynamic_component",
+        "displacement_from_phase",
+        "trajectory_variance",
+        "detect_blinks",
+    }
+)
+
+
+class UnreachableCodeRule(LintRule):
+    """No path from function entry reaches this statement."""
+
+    name = "unreachable-code"
+    summary = "statements no CFG path from function entry can reach"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        for cfg in file_cfgs(ctx):
+            reachable = cfg.reachable()
+            dead_with_code = {
+                block.index
+                for block in cfg.blocks
+                if block.index not in reachable and block.first_positioned() is not None
+            }
+            for block in cfg.blocks:
+                if block.index not in dead_with_code:
+                    continue
+                anchor = block.first_positioned()
+                if anchor is None:
+                    continue
+                # Report only region heads: skip blocks that merely
+                # continue an already-reported unreachable region.
+                if any(edge.src in dead_with_code for edge in block.pred):
+                    continue
+                yield self.diagnostic(
+                    ctx,
+                    anchor,
+                    f"statement in {cfg.qualname} is unreachable "
+                    "(no path from function entry)",
+                )
+
+
+class DeadStoreRule(LintRule):
+    """A stored physical quantity must be read on some path."""
+
+    name = "dead-store"
+    summary = (
+        "assignments to unit-suffixed locals whose value liveness proves "
+        "is never read"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        for cfg in file_cfgs(ctx):
+            if cfg.uses_dynamic_locals:
+                continue
+            liveness = liveness_of(ctx, cfg)
+            reachable = cfg.reachable()
+            for block in cfg.blocks:
+                if block.index not in reachable:
+                    continue
+                after = liveness.element_states(block.index)
+                for element, live_after in zip(block.elements, after):
+                    bound = binding_of(element)
+                    if bound is None:
+                        continue
+                    name, _ = bound
+                    if (
+                        name.startswith("_")
+                        or name in cfg.closure_names
+                        or name in cfg.global_names
+                        or suffix_family(name) is None
+                        or name in live_after
+                    ):
+                        continue
+                    yield self.diagnostic(
+                        ctx,
+                        element,
+                        f"dead store: {name!r} is assigned in {cfg.qualname} "
+                        "but the value is never read on any path",
+                    )
+
+
+def _import_map(ctx: FileContext) -> dict[str, str]:
+    """Local name → fully dotted module/object path, from this file's imports."""
+    mapping: dict[str, str] = {}
+    package_parts: tuple[str, ...] = ()
+    if ctx.module_parts is not None:
+        package_parts = ("repro",) + ctx.module_parts[:-1]
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname if alias.asname else alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mapping[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module if node.module is not None else ""
+            if node.level:
+                if node.level > len(package_parts):
+                    continue
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(anchor + ((base,) if base else ()))
+            for alias in node.names:
+                local = alias.asname if alias.asname else alias.name
+                mapping[local] = f"{base}.{alias.name}" if base else alias.name
+    return mapping
+
+
+def _resolve_call(call: ast.Call, imports: dict[str, str]) -> str | None:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = imports.get(head)
+    if resolved is None:
+        return None
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+class DiscardedResultRule(LintRule):
+    """The result of a pure science function must not be dropped."""
+
+    name = "discarded-result"
+    summary = (
+        "expression statements that discard the result of a pure "
+        "repro.dsp / repro.core function"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        imports = _import_map(ctx)
+        if not imports:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            resolved = _resolve_call(node.value, imports)
+            if resolved is None:
+                continue
+            leaf = resolved.rsplit(".", 1)[-1]
+            pure = resolved.startswith("repro.dsp.") or (
+                resolved.startswith("repro.core.") and leaf in _PURE_CORE_FUNCTIONS
+            )
+            if pure:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"result of pure function {resolved} is discarded; "
+                    "it has no side effects, so this statement does nothing",
+                )
+
+
+RULES: tuple[LintRule, ...] = (
+    UnreachableCodeRule(),
+    DeadStoreRule(),
+    DiscardedResultRule(),
+)

@@ -22,7 +22,13 @@ from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.rules import LintRule, dotted_name
 
-__all__ = ["PURE_PACKAGES", "WallClockRule", "GlobalRngRule", "RULES"]
+__all__ = [
+    "ALLOWLISTED_MODULES",
+    "PURE_PACKAGES",
+    "WallClockRule",
+    "GlobalRngRule",
+    "RULES",
+]
 
 #: Packages whose output must be a pure function of (inputs, seed).
 PURE_PACKAGES = frozenset(

@@ -1,0 +1,176 @@
+"""Resource-lifecycle dataflow rule for ``repro.hardware`` / ``repro.fleet``.
+
+A :class:`~repro.fleet.session.DetectorSession`, a ``threading.Thread``,
+or an ``open()`` handle acquired in the service layer must be released
+(``close()`` / ``join()``) on **every** CFG path out of the function —
+including the exceptional edges the CFG models inside ``try`` blocks and
+explicit ``raise`` statements — unless:
+
+- a ``with`` statement governs it (the CFG binds it via ``WithBind``,
+  which this rule never starts tracking),
+- ownership visibly escapes (returned, yielded, stored into an
+  attribute/container, passed to another callable — the new owner
+  carries the obligation), or
+- a ``# reprolint: moves(name)`` pragma documents the hand-off where
+  the syntax alone cannot show it.
+
+The analysis is a forward may-be-unreleased set over ``(name,
+acquisition site)`` pairs solved on the CFG; anything still in the set
+at the exit block leaks on at least one path. Union join gives the
+must-release-on-all-paths semantics: one early ``return`` above the
+``close()`` is enough to convict.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.cfg import CFG, Element
+from repro.lint.context import FileContext
+from repro.lint.dataflow import Analysis, element_defs_uses, file_cfgs, solve
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.provenance import (
+    KIND_NOUN,
+    RELEASE_METHODS,
+    TRACKED_KINDS,
+    binding_of,
+    constructor_kind,
+)
+from repro.lint.rules import LintRule
+
+__all__ = ["ResourceLifecycleRule", "RULES"]
+
+#: All method names that release *some* tracked kind.
+_ALL_RELEASES = frozenset(name for names in RELEASE_METHODS.values() for name in names)
+
+
+def _receiver_roles(element: Element) -> tuple[frozenset[str], frozenset[str]]:
+    """``(released names, escaped names)`` for one element.
+
+    A name is *released* when it appears as ``name.close()`` /
+    ``name.join()``. It *escapes* when it is loaded in any position other
+    than being the receiver of a method call — an argument, a return
+    value, a container element, an attribute store — because that hands
+    a reference (and with it the release obligation) elsewhere.
+    """
+    if not isinstance(element, ast.AST):
+        return frozenset(), frozenset()  # synthetic Bind wrappers
+    released: set[str] = set()
+    receiver_only: set[str] = set()
+    receivers: dict[int, str] = {}
+    for node in ast.walk(element):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+        ):
+            receivers[id(node.func.value)] = node.func.attr
+    for node in ast.walk(element):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        method = receivers.get(id(node))
+        if method is None:
+            continue
+        if method in _ALL_RELEASES:
+            released.add(node.id)
+        else:
+            receiver_only.add(node.id)
+    _, uses = element_defs_uses(element)
+    escaped = frozenset(uses - released - receiver_only)
+    return frozenset(released), escaped
+
+
+class _Unreleased(Analysis["frozenset[tuple[str, int]]"]):
+    """May-be-unreleased resources, as ``(name, acquisition line)`` pairs."""
+
+    forward = True
+
+    def __init__(self, moves_by_line: dict[int, tuple[str, ...]]) -> None:
+        self._moves_by_line = moves_by_line
+        self._kinds: dict[tuple[str, int], str] = {}
+
+    def kind_of(self, pair: tuple[str, int]) -> str:
+        return self._kinds[pair]
+
+    def boundary(self, cfg: CFG) -> frozenset[tuple[str, int]]:
+        return frozenset()
+
+    def initial(self, cfg: CFG) -> frozenset[tuple[str, int]]:
+        return frozenset()
+
+    def join(
+        self, a: frozenset[tuple[str, int]], b: frozenset[tuple[str, int]]
+    ) -> frozenset[tuple[str, int]]:
+        return a | b
+
+    def transfer(
+        self, element: Element, state: frozenset[tuple[str, int]]
+    ) -> frozenset[tuple[str, int]]:
+        if not state and not isinstance(element, (ast.Assign, ast.AnnAssign)):
+            # Nothing tracked yet and this element cannot start tracking.
+            return state
+        released, escaped = _receiver_roles(element)
+        dropped = released | escaped
+        line = int(getattr(element, "lineno", 0))
+        moved = self._moves_by_line.get(line)
+        if moved:
+            dropped = dropped | frozenset(moved)
+        defs, _ = element_defs_uses(element)
+        if dropped or defs:
+            state = frozenset(
+                pair for pair in state if pair[0] not in dropped and pair[0] not in defs
+            )
+        bound = binding_of(element)
+        if bound is not None:
+            name, value = bound
+            if isinstance(value, ast.Call):
+                kind = constructor_kind(value)
+                if kind in TRACKED_KINDS:
+                    pair = (name, int(value.lineno))
+                    self._kinds[pair] = kind
+                    state = state | frozenset((pair,))
+        return state
+
+
+class ResourceLifecycleRule(LintRule):
+    """Sessions, threads, and file handles must be released on every path."""
+
+    name = "resource-leak"
+    summary = (
+        "resources acquired in repro.hardware/repro.fleet must be "
+        "closed/joined on every CFG path, with-governed, or moved"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not ctx.in_package("hardware", "fleet"):
+            return
+        moves_by_line = {
+            line: pragmas.moves for line, pragmas in ctx.pragmas.items() if pragmas.moves
+        }
+        for cfg in file_cfgs(ctx):
+            if cfg.uses_dynamic_locals:
+                continue
+            analysis = _Unreleased(moves_by_line)
+            solution = solve(cfg, analysis)
+            leaked = solution.inputs[cfg.exit]
+            for name, line in sorted(leaked, key=lambda pair: (pair[1], pair[0])):
+                noun = KIND_NOUN[analysis.kind_of((name, line))]
+                releases = "/".join(
+                    sorted(RELEASE_METHODS[analysis.kind_of((name, line))])
+                )
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    rule=self.name,
+                    message=(
+                        f"{noun} {name!r} acquired in {cfg.qualname} may reach "
+                        f"function exit without {releases}(); release it on every "
+                        "path (try/finally or with), or document the hand-off "
+                        "with '# reprolint: moves(" + name + ")'"
+                    ),
+                )
+
+
+RULES: tuple[LintRule, ...] = (ResourceLifecycleRule(),)

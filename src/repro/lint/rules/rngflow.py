@@ -1,0 +1,240 @@
+"""RNG-provenance dataflow rules.
+
+The determinism contract (see :mod:`repro.lint.rules.determinism`) says
+every random draw in the pure packages flows through an explicitly
+seeded ``np.random.Generator``. The lexical ``global-rng`` rule bans the
+global stream by spelling; these rules use the CFG and liveness to catch
+the ways a *correctly constructed* generator still breaks provenance:
+
+- ``rng-reseed`` — a function that already receives a generator mints a
+  fresh one from a constant seed, silently decoupling its draws from the
+  caller's stream (every call site now shares one hard-coded stream).
+- ``rng-shadow`` — a generator parameter is rebound before it is ever
+  consulted, so the caller's seed never influences anything.
+- ``rng-dead`` — a generator is constructed and never used; either the
+  draw it was meant to feed is missing or the construction is noise.
+- ``use-after-move`` — a name handed off with ``# reprolint:
+  moves(name)`` is used after the ownership transfer.
+
+The None-default idiom ``rng = rng if rng is not None else
+default_rng(0)`` stays legal: the rebinding element *uses* the
+parameter, which is exactly the provenance link these rules require.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.cfg import CFG, ArgsBind, Element
+from repro.lint.context import FileContext
+from repro.lint.dataflow import (
+    MovedNames,
+    element_defs_uses,
+    file_cfgs,
+    liveness_of,
+    solve,
+)
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.provenance import binding_of, constructor_kind, rng_param_names
+from repro.lint.rules import LintRule
+from repro.lint.rules.determinism import ALLOWLISTED_MODULES, PURE_PACKAGES
+
+__all__ = [
+    "RngReseedRule",
+    "RngShadowRule",
+    "RngDeadRule",
+    "UseAfterMoveRule",
+    "RULES",
+]
+
+
+def _in_pure_scope(ctx: FileContext) -> bool:
+    parts = ctx.module_parts
+    if parts is None or parts[0] not in PURE_PACKAGES:
+        return False
+    return parts[: len(next(iter(ALLOWLISTED_MODULES)))] not in ALLOWLISTED_MODULES
+
+
+def _reachable_elements(cfg: CFG) -> Iterable[Element]:
+    reachable = cfg.reachable()
+    for block in cfg.blocks:
+        if block.index in reachable:
+            yield from block.elements
+
+
+def _rng_constructor_calls(element: Element) -> Iterable[ast.Call]:
+    if not isinstance(element, ast.AST):
+        return  # synthetic Bind wrappers contain no calls
+    for node in ast.walk(element):
+        if isinstance(node, ast.Call) and constructor_kind(node) == "rng":
+            yield node
+
+
+def _is_constant_seeded(call: ast.Call) -> bool:
+    """True for ``default_rng(0)``-style calls: args present, all literal."""
+    if not call.args and not call.keywords:
+        return False  # unseeded: global-rng's territory
+    every = list(call.args) + [kw.value for kw in call.keywords]
+    return all(isinstance(arg, ast.Constant) for arg in every)
+
+
+class RngReseedRule(LintRule):
+    """A generator-taking function must not re-seed from a constant."""
+
+    name = "rng-reseed"
+    summary = (
+        "functions receiving a Generator must not mint a fresh one from "
+        "a constant seed; derive substreams from the parameter instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_pure_scope(ctx):
+            return
+        for cfg in file_cfgs(ctx):
+            params = rng_param_names(cfg.fn)
+            if not params:
+                continue
+            for element in _reachable_elements(cfg):
+                _, uses = element_defs_uses(element)
+                if uses & params:
+                    continue  # the element consults the caller's stream
+                for call in _rng_constructor_calls(element):
+                    if _is_constant_seeded(call):
+                        yield self.diagnostic(
+                            ctx,
+                            call,
+                            f"{cfg.qualname} receives a seeded generator "
+                            f"({', '.join(sorted(params))}) but re-seeds from a "
+                            "constant here; every caller now shares one stream — "
+                            "derive substreams from the parameter "
+                            "(e.g. rng.spawn()) instead",
+                        )
+
+
+class RngShadowRule(LintRule):
+    """A generator parameter must be consulted before it is rebound."""
+
+    name = "rng-shadow"
+    summary = (
+        "a Generator parameter rebound before any use shadows the "
+        "caller's seed entirely"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_pure_scope(ctx):
+            return
+        for cfg in file_cfgs(ctx):
+            params = rng_param_names(cfg.fn)
+            if not params or cfg.uses_dynamic_locals:
+                continue
+            first_use: dict[str, int] = {}
+            rebinds: list[tuple[str, Element, int]] = []
+            for element in _reachable_elements(cfg):
+                defs, uses = element_defs_uses(element)
+                line = int(getattr(element, "lineno", 0))
+                for name in uses & params:
+                    if name not in first_use or line < first_use[name]:
+                        first_use[name] = line
+                for name in defs & params:
+                    if not isinstance(element, ArgsBind) and name not in uses:
+                        rebinds.append((name, element, line))
+            for name, element, line in rebinds:
+                used_at = first_use.get(name)
+                if used_at is None or line <= used_at:
+                    yield self.diagnostic(
+                        ctx,
+                        element,
+                        f"generator parameter {name!r} is rebound before any "
+                        f"use in {cfg.qualname}; the caller's seed never "
+                        "reaches a draw",
+                    )
+
+
+class RngDeadRule(LintRule):
+    """A constructed generator must feed at least one draw."""
+
+    name = "rng-dead"
+    summary = "a Generator constructed but never used is a missing draw or noise"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not _in_pure_scope(ctx):
+            return
+        for cfg in file_cfgs(ctx):
+            if cfg.uses_dynamic_locals:
+                continue
+            liveness = liveness_of(ctx, cfg)
+            reachable = cfg.reachable()
+            for block in cfg.blocks:
+                if block.index not in reachable:
+                    continue
+                after = liveness.element_states(block.index)
+                for element, live_after in zip(block.elements, after):
+                    yield from self._check_element(ctx, cfg, element, live_after)
+
+    def _check_element(
+        self,
+        ctx: FileContext,
+        cfg: CFG,
+        element: Element,
+        live_after: frozenset[str],
+    ) -> Iterable[Diagnostic]:
+        bound = binding_of(element)
+        if bound is None:
+            return
+        name, value = bound
+        if name.startswith("_") or name in cfg.closure_names or name in cfg.global_names:
+            return
+        if not isinstance(value, ast.Call) or constructor_kind(value) != "rng":
+            return
+        if name not in live_after:
+            yield self.diagnostic(
+                ctx,
+                element,
+                f"generator {name!r} is constructed here but never used "
+                f"in {cfg.qualname}",
+            )
+
+
+class UseAfterMoveRule(LintRule):
+    """A name whose ownership was transferred must not be used again."""
+
+    name = "use-after-move"
+    summary = (
+        "after '# reprolint: moves(name)' transfers ownership, the name "
+        "must be rebound before any further use"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.module_parts is None:
+            return
+        moves_by_line = {
+            line: pragmas.moves for line, pragmas in ctx.pragmas.items() if pragmas.moves
+        }
+        if not moves_by_line:
+            return
+        for cfg in file_cfgs(ctx):
+            solution = solve(cfg, MovedNames(moves_by_line))
+            for block in cfg.blocks:
+                states = solution.element_states(block.index)
+                for element, moved in zip(block.elements, states):
+                    if not moved:
+                        continue
+                    _, uses = element_defs_uses(element)
+                    line = int(getattr(element, "lineno", 0))
+                    for name, moved_at in sorted(moved):
+                        if name in uses and line != moved_at:
+                            yield self.diagnostic(
+                                ctx,
+                                element,
+                                f"{name!r} was moved to a new owner at line "
+                                f"{moved_at} and must not be used afterwards",
+                            )
+
+
+RULES: tuple[LintRule, ...] = (
+    RngReseedRule(),
+    RngShadowRule(),
+    RngDeadRule(),
+    UseAfterMoveRule(),
+)

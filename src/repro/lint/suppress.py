@@ -17,6 +17,13 @@ Three pragma forms, all attached to the physical line they appear on:
     its ``__init__`` assignment) is deliberately unsynchronised —
     e.g. it is only ever touched before worker threads exist.
 
+``# reprolint: moves(name[,name...])``
+    Ownership-transfer intent: the statement on this line hands the
+    named local values to a consumer that now owns them (e.g. a session
+    registered with a scheduler that will close it). The dataflow rules
+    stop requiring release on this path and instead flag any *later*
+    use of a moved name (``use-after-move``) until it is rebound.
+
 Pragmas are parsed from real COMMENT tokens via :mod:`tokenize`, so a
 ``# reprolint:`` inside a string literal is never misread as a pragma.
 Unrecognised pragma bodies are returned as errors and surfaced by the
@@ -35,6 +42,9 @@ __all__ = ["LinePragmas", "PragmaError", "scan_pragmas"]
 
 _PRAGMA_RE = re.compile(r"#\s*reprolint:\s*(?P<body>.*\S)\s*$")
 _GUARDED_RE = re.compile(r"guarded-by\((?P<lock>[A-Za-z_][A-Za-z0-9_]*)\)$")
+_MOVES_RE = re.compile(
+    r"moves\((?P<names>[A-Za-z_][A-Za-z0-9_]*(?:,[A-Za-z_][A-Za-z0-9_]*)*)\)$"
+)
 _RULE_NAME_RE = re.compile(r"[a-z][a-z0-9-]*$")
 
 
@@ -45,6 +55,7 @@ class LinePragmas:
     disabled: frozenset[str] = frozenset()
     guarded_by: tuple[str, ...] = ()
     unguarded_ok: bool = False
+    moves: tuple[str, ...] = ()
 
     def suppresses(self, rule: str) -> bool:
         """True when this line disables ``rule`` (or everything)."""
@@ -65,12 +76,14 @@ class _Builder:
     disabled: set[str] = field(default_factory=set)
     guarded_by: list[str] = field(default_factory=list)
     unguarded_ok: bool = False
+    moves: list[str] = field(default_factory=list)
 
     def freeze(self) -> LinePragmas:
         return LinePragmas(
             disabled=frozenset(self.disabled),
             guarded_by=tuple(self.guarded_by),
             unguarded_ok=self.unguarded_ok,
+            moves=tuple(self.moves),
         )
 
 
@@ -97,6 +110,14 @@ def _parse_body(
                 )
                 continue
             builder.guarded_by.append(match.group("lock"))
+        elif token.startswith("moves"):
+            match = _MOVES_RE.fullmatch(token)
+            if match is None:
+                errors.append(
+                    PragmaError(line, col, f"malformed moves pragma: {token!r}")
+                )
+                continue
+            builder.moves.extend(match.group("names").split(","))
         else:
             errors.append(
                 PragmaError(line, col, f"unknown reprolint pragma: {token!r}")

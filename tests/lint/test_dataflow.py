@@ -1,0 +1,195 @@
+"""Solver and analysis-instance tests on small, hand-checkable CFGs."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg, iter_functions
+from repro.lint.dataflow import (
+    Liveness,
+    MovedNames,
+    ReachingDefinitions,
+    element_defs_uses,
+    solve,
+)
+
+
+def _cfg(source: str, name: str = "f"):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(dict(iter_functions(tree))[name], name)
+
+
+def _element(source: str):
+    """The single statement of a module, as an element."""
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+class TestDefsUses:
+    def test_simple_assign(self):
+        defs, uses = element_defs_uses(_element("y = x + 1"))
+        assert defs == {"y"} and uses == {"x"}
+
+    def test_tuple_target_and_starred(self):
+        defs, _ = element_defs_uses(_element("a, (b, *c) = v"))
+        assert defs == {"a", "b", "c"}
+
+    def test_augassign_uses_its_own_target(self):
+        defs, uses = element_defs_uses(_element("total += x"))
+        assert defs == {"total"} and uses == {"total", "x"}
+
+    def test_walrus_inside_expression(self):
+        defs, uses = element_defs_uses(_element("print((n := len(items)))"))
+        assert "n" in defs and "items" in uses
+
+    def test_attribute_target_binds_nothing(self):
+        defs, uses = element_defs_uses(_element("obj.field = x"))
+        assert defs == frozenset() and uses == {"obj", "x"}
+
+    def test_import_binds_aliases(self):
+        defs, _ = element_defs_uses(_element("import numpy as np"))
+        assert defs == {"np"}
+        defs, _ = element_defs_uses(_element("from a.b import c as d, e"))
+        assert defs == {"d", "e"}
+
+    def test_nested_scope_loads_count_as_uses(self):
+        defs, uses = element_defs_uses(_element("h = lambda: x + 1"))
+        assert defs == {"h"} and "x" in uses
+
+
+class TestReachingDefinitions:
+    def test_branches_merge_definition_sites(self):
+        cfg = _cfg(
+            """
+            def f(c):
+                if c:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        )
+        analysis = ReachingDefinitions(cfg)
+        solution = solve(cfg, analysis)
+        ret_block = next(
+            b for b in cfg.blocks if any(isinstance(e, ast.Return) for e in b.elements)
+        )
+        state = solution.inputs[ret_block.index]
+        sites = state["y"]
+        assert len(sites) == 2  # both arms reach the join
+        values = {
+            analysis.element_at(site).value.value for site in sites  # type: ignore[union-attr]
+        }
+        assert values == {1, 2}
+
+    def test_rebinding_is_a_strong_update(self):
+        cfg = _cfg(
+            """
+            def f():
+                y = 1
+                y = 2
+                return y
+            """
+        )
+        analysis = ReachingDefinitions(cfg)
+        solution = solve(cfg, analysis)
+        state = solution.outputs[cfg.exit] or solution.inputs[cfg.exit]
+        sites = state["y"]
+        assert len(sites) == 1
+        element = analysis.element_at(next(iter(sites)))
+        assert isinstance(element, ast.Assign) and element.value.value == 2  # type: ignore[union-attr]
+
+
+class TestLiveness:
+    def test_dead_store_is_not_live(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                y = x
+                y = x + 1
+                return y
+            """
+        )
+        solution = solve(cfg, Liveness())
+        block = next(
+            b for b in cfg.blocks if any(isinstance(e, ast.Assign) for e in b.elements)
+        )
+        states = solution.element_states(block.index)
+        first_assign_index = next(
+            i for i, e in enumerate(block.elements) if isinstance(e, ast.Assign)
+        )
+        assert "y" not in states[first_assign_index]
+
+    def test_loop_carried_value_stays_live(self):
+        cfg = _cfg(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        solution = solve(cfg, Liveness())
+        for block in cfg.blocks:
+            for element, live_after in zip(block.elements, solution.element_states(block.index)):
+                if isinstance(element, ast.Assign):
+                    assert "i" in live_after  # read by the loop test or return
+
+    def test_closure_names_live_at_exit(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                acc = 0
+                def g():
+                    return acc
+                return g
+            """
+        )
+        solution = solve(cfg, Liveness())
+        assert "acc" in solution.inputs[cfg.exit]
+
+
+class TestMovedNames:
+    def test_move_then_rebind_clears(self):
+        cfg = _cfg(
+            """
+            def f(pool, make):
+                t = make()
+                pool.adopt(t)
+                t = make()
+                t.check()
+            """
+        )
+        solution = solve(cfg, MovedNames({3: ("t",)}))
+        # After the rebinding on line 4 the pair is gone everywhere later.
+        final = solution.inputs[cfg.exit]
+        assert final == frozenset()
+
+    def test_move_reaches_exit_without_rebind(self):
+        cfg = _cfg(
+            """
+            def f(pool, make):
+                t = make()
+                pool.adopt(t)
+            """
+        )
+        solution = solve(cfg, MovedNames({3: ("t",)}))
+        assert ("t", 3) in solution.inputs[cfg.exit]
+
+
+class TestSolverBookkeeping:
+    def test_converges_with_tight_cap_reported(self):
+        cfg = _cfg(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        full = solve(cfg, ReachingDefinitions(cfg))
+        assert full.converged and full.steps > 0
+        starved = solve(cfg, ReachingDefinitions(cfg), max_steps=1)
+        assert not starved.converged

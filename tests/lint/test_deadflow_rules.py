@@ -1,0 +1,167 @@
+"""Gate tests for the dead-flow rule family."""
+
+from __future__ import annotations
+
+
+class TestUnreachableCode:
+    def test_code_after_return_flagged_once(self, linter):
+        diags = [
+            d
+            for d in linter.findings(
+                """
+                def f(x):
+                    return x
+                    x = x + 1
+                    x = x + 2
+                """
+            )
+            if d.rule == "unreachable-code"
+        ]
+        assert len(diags) == 1  # region head only, not one per line
+
+    def test_constant_false_branch_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            def f(x):
+                if False:
+                    x = debug_probe(x)
+                return x
+            """
+        )
+        assert "unreachable-code" in names
+
+    def test_reachable_branches_are_clean(self, linter):
+        names = linter.rule_names(
+            """
+            def f(x):
+                if x > 0:
+                    return 1
+                return 0
+            """
+        )
+        assert "unreachable-code" not in names
+
+    def test_while_true_loop_body_is_reachable(self, linter):
+        names = linter.rule_names(
+            """
+            def f(queue):
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        return None
+            """
+        )
+        assert "unreachable-code" not in names
+
+
+class TestDeadStore:
+    def test_overwritten_quantity_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            def f(x):
+                duration_s = x * 2.0
+                duration_s = x * 3.0
+                return duration_s
+            """
+        )
+        assert "dead-store" in names
+
+    def test_branch_read_keeps_store_alive(self, linter):
+        names = linter.rule_names(
+            """
+            def f(x, fast):
+                duration_s = x * 2.0
+                if fast:
+                    duration_s = duration_s / 2.0
+                return duration_s
+            """
+        )
+        assert "dead-store" not in names
+
+    def test_non_quantity_names_not_policed(self, linter):
+        names = linter.rule_names(
+            """
+            def f(x):
+                temp = x * 2.0
+                temp = x * 3.0
+                return temp
+            """
+        )
+        assert "dead-store" not in names
+
+    def test_underscore_scratch_allowed(self, linter):
+        names = linter.rule_names(
+            """
+            def f(pairs):
+                _duration_s = pairs[0]
+                return pairs[1]
+            """
+        )
+        assert "dead-store" not in names
+
+
+class TestDiscardedResult:
+    def test_dropped_dsp_return_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.dsp.filters import fir_filter
+
+
+            def f(x, taps):
+                fir_filter(x, taps)
+                return x
+            """
+        )
+        assert "discarded-result" in names
+
+    def test_module_qualified_call_resolved(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.dsp import filters
+
+
+            def f(x, taps):
+                filters.fir_filter(x, taps)
+                return x
+            """
+        )
+        assert "discarded-result" in names
+
+    def test_used_result_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.dsp.filters import fir_filter
+
+
+            def f(x, taps):
+                y = fir_filter(x, taps)
+                return y
+            """
+        )
+        assert "discarded-result" not in names
+
+    def test_unrelated_side_effecting_call_allowed(self, linter):
+        names = linter.rule_names(
+            """
+            import logging
+
+
+            def f(x):
+                logging.info("len=%d", len(x))
+                return x
+            """
+        )
+        assert "discarded-result" not in names
+
+    def test_curated_core_function_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.core.analytics import window_metrics
+
+
+            def f(events):
+                window_metrics(events)
+                return events
+            """
+        )
+        assert "discarded-result" in names

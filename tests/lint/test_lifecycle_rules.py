@@ -1,0 +1,175 @@
+"""Gate tests for the resource-lifecycle rule family."""
+
+from __future__ import annotations
+
+FLEET = "repro/fleet/snippet.py"
+HARDWARE = "repro/hardware/snippet.py"
+
+
+class TestResourceLeak:
+    def test_unjoined_thread_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def launch(work):
+                t = threading.Thread(target=work)
+                t.start()
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" in names
+
+    def test_early_return_path_flagged(self, linter):
+        # The happy path joins; the early return does not. Union join
+        # over paths must still convict.
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def launch(work, flag):
+                t = threading.Thread(target=work)
+                t.start()
+                if flag:
+                    return None
+                t.join()
+                return None
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" in names
+
+    def test_try_finally_join_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def launch(work, body):
+                t = threading.Thread(target=work)
+                t.start()
+                try:
+                    body()
+                finally:
+                    t.join()
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" not in names
+
+    def test_session_close_on_every_path_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.fleet.session import DetectorSession
+
+
+            def probe(frames):
+                session = DetectorSession("v1", frames)
+                try:
+                    return session.pump()
+                finally:
+                    session.close()
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" not in names
+
+    def test_unclosed_session_with_raise_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.fleet.session import DetectorSession
+
+
+            def probe(frames, ok):
+                session = DetectorSession("v1", frames)
+                if not ok:
+                    raise ValueError("bad frames")
+                session.close()
+                return None
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" in names
+
+    def test_with_governed_file_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            def dump(path, payload):
+                with open(path, "w") as handle:
+                    handle.write(payload)
+            """,
+            rel=HARDWARE,
+        )
+        assert "resource-leak" not in names
+
+    def test_unclosed_open_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            def dump(path, payload):
+                handle = open(path, "w")
+                handle.write(payload)
+            """,
+            rel=HARDWARE,
+        )
+        assert "resource-leak" in names
+
+    def test_escape_transfers_the_obligation(self, linter):
+        # Storing the session into a registry hands ownership over; the
+        # registry's close path carries the obligation now.
+        names = linter.rule_names(
+            """
+            from repro.fleet.session import DetectorSession
+
+
+            def register(frames, registry):
+                session = DetectorSession("v1", frames)
+                registry["v1"] = session
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" not in names
+
+    def test_returned_resource_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def spawn(work):
+                t = threading.Thread(target=work)
+                t.start()
+                return t
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" not in names
+
+    def test_moves_pragma_documents_handoff(self, linter):
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def launch(work, pool):
+                t = threading.Thread(target=work)
+                pool.adopt(t.name)  # reprolint: moves(t)
+            """,
+            rel=FLEET,
+        )
+        assert "resource-leak" not in names
+
+    def test_outside_service_packages_not_enforced(self, linter):
+        names = linter.rule_names(
+            """
+            import threading
+
+
+            def launch(work):
+                t = threading.Thread(target=work)
+                t.start()
+            """,
+            rel="repro/eval/snippet.py",
+        )
+        assert "resource-leak" not in names

@@ -150,13 +150,16 @@ class TestCliSurface:
         # And --no-baseline reveals the finding again.
         assert repro_main(["lint", "repro", "--no-baseline"]) == 1
 
-    def test_parse_error_is_a_finding(self, tmp_path, capsys):
+    def test_parse_error_is_a_finding_with_exit_code_2(self, tmp_path, capsys):
+        # An unparseable file is a *tooling* outcome, not a policy one:
+        # the run never analysed the file, so it must not masquerade as
+        # an ordinary finding (exit 1).
         target = tmp_path / "repro/sim/broken.py"
         target.parent.mkdir(parents=True)
         target.write_text("def f(:\n")
         exit_code = repro_main(["lint", str(target)])
         out = capsys.readouterr().out
-        assert exit_code == 1
+        assert exit_code == 2
         assert "parse-error" in out
 
 

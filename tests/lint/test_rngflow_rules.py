@@ -1,0 +1,196 @@
+"""Gate tests for the rng-provenance rule family."""
+
+from __future__ import annotations
+
+
+class TestRngReseed:
+    def test_constant_reseed_with_rng_param_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def jitter(x, rng: np.random.Generator):
+                fresh = np.random.default_rng(0)
+                return x + fresh.normal()
+            """
+        )
+        assert "rng-reseed" in names
+
+    def test_none_default_idiom_is_allowed(self, linter):
+        # The rebinding element consults the parameter, which is the
+        # provenance link the rule requires.
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def simulate(x, rng=None):
+                rng = rng if rng is not None else np.random.default_rng(0)
+                return x + rng.normal()
+            """
+        )
+        assert "rng-reseed" not in names
+
+    def test_seed_from_parameter_is_allowed(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def simulate(x, seed):
+                rng = np.random.default_rng(seed)
+                return x + rng.normal()
+            """
+        )
+        assert "rng-reseed" not in names
+
+    def test_out_of_scope_package_ignored(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def pace(rng: np.random.Generator):
+                fresh = np.random.default_rng(0)
+                return fresh.normal()
+            """,
+            rel="repro/fleet/snippet.py",
+        )
+        assert "rng-reseed" not in names
+
+    def test_inline_suppression(self, linter):
+        result = linter.lint(
+            """
+            import numpy as np
+
+
+            def jitter(x, rng: np.random.Generator):
+                fresh = np.random.default_rng(0)  # reprolint: disable=rng-reseed
+                return x + fresh.normal()
+            """
+        )
+        assert "rng-reseed" not in [d.rule for d in result.diagnostics]
+        assert result.suppressed == 1
+
+
+class TestRngShadow:
+    def test_param_rebound_before_use_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def sample(rng: np.random.Generator):
+                rng = np.random.default_rng(7)
+                return rng.normal()
+            """
+        )
+        assert "rng-shadow" in names
+
+    def test_param_used_then_rebound_is_allowed(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def sample(rng: np.random.Generator):
+                if rng is None:
+                    rng = np.random.default_rng(7)
+                return rng.normal()
+            """
+        )
+        assert "rng-shadow" not in names
+
+    def test_underscore_name_convention_detected(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def sample(noise_rng):
+                noise_rng = np.random.default_rng(7)
+                return noise_rng.normal()
+            """
+        )
+        assert "rng-shadow" in names
+
+
+class TestRngDead:
+    def test_unused_generator_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return seed + 1
+            """
+        )
+        assert "rng-dead" in names
+
+    def test_used_generator_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+            """
+        )
+        assert "rng-dead" not in names
+
+    def test_generator_captured_by_closure_is_live(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+
+                def draw():
+                    return rng.normal()
+
+                return draw
+            """
+        )
+        assert "rng-dead" not in names
+
+
+class TestUseAfterMove:
+    def test_use_after_move_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            def f(registry, make):
+                t = make()
+                registry.adopt(t)  # reprolint: moves(t)
+                t.start()
+            """
+        )
+        assert "use-after-move" in names
+
+    def test_rebinding_restores_ownership(self, linter):
+        names = linter.rule_names(
+            """
+            def f(registry, make):
+                t = make()
+                registry.adopt(t)  # reprolint: moves(t)
+                t = make()
+                t.start()
+            """
+        )
+        assert "use-after-move" not in names
+
+    def test_malformed_moves_pragma_is_bad_pragma(self, linter):
+        names = linter.rule_names(
+            """
+            def f(registry, make):
+                t = make()
+                registry.adopt(t)  # reprolint: moves()
+            """
+        )
+        assert "bad-pragma" in names
