@@ -1,0 +1,132 @@
+"""Trace-store I/O — the disk path must never be the bottleneck.
+
+Not a paper figure: this benchmark sizes ``repro.store`` against the
+two paths it replaces or feeds. Write throughput must dwarf the live
+acquisition rate (25 FPS × one 234-bin complex frame ≈ 94 KB/s for
+complex128), mmap-backed reads must beat ``np.load`` on the same trace
+(the zero-copy claim), and an unpaced replay must clear the real-time
+budget by a wide margin (the headroom that lets one host replay many
+recordings faster than real time). Results land in ``BENCH_store.json``
+so the I/O trajectory survives across PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block
+from repro.eval.report import format_table
+from repro.sim import simulate
+from repro.store import ReplaySource, TraceReader, TraceWriter, write_trace
+
+BENCH_PATH = Path(__file__).parent / "BENCH_store.json"
+FRAME_RATE_HZ = 25.0
+READ_REPEATS = 5
+
+
+@pytest.fixture(scope="module")
+def io_trace():
+    return simulate(base_scenario(duration_s=60.0, road="smooth_highway"), seed=91)
+
+
+def bench_write(trace, path: Path) -> dict:
+    start = time.perf_counter()
+    with TraceWriter(
+        path,
+        n_bins=trace.n_bins,
+        frame_rate_hz=trace.frame_rate_hz,
+        dtype=trace.frames.dtype,
+    ) as writer:
+        writer.append_batch(trace.frames, trace.timestamps_s)
+    wall_s = time.perf_counter() - start
+    nbytes = path.stat().st_size
+    return {
+        "frames": trace.n_frames,
+        "file_bytes": nbytes,
+        "wall_s": wall_s,
+        "write_mb_per_s": nbytes / wall_s / 1e6,
+        "write_fps": trace.n_frames / wall_s,
+    }
+
+
+def bench_reads(trace, rst_path: Path, npz_path: Path) -> dict:
+    trace.save(npz_path)
+
+    def mmap_read() -> np.ndarray:
+        with TraceReader(rst_path) as reader:
+            return np.array(reader.frames)
+
+    def npz_read() -> np.ndarray:
+        with np.load(npz_path, allow_pickle=False) as data:
+            return np.array(data["frames"])
+
+    results = {}
+    for name, fn in [("mmap", mmap_read), ("npz", npz_read)]:
+        frames = fn()  # warm the page cache so both paths are measured hot
+        assert np.array_equal(frames, trace.frames)
+        start = time.perf_counter()
+        for _ in range(READ_REPEATS):
+            fn()
+        results[f"{name}_read_s"] = (time.perf_counter() - start) / READ_REPEATS
+    results["mmap_speedup"] = results["npz_read_s"] / results["mmap_read_s"]
+    return results
+
+
+def bench_replay(rst_path: Path, n_frames: int) -> dict:
+    start = time.perf_counter()
+    delivered = 0
+    with ReplaySource(rst_path) as source:
+        for _stamp, _frame in source:
+            delivered += 1
+    wall_s = time.perf_counter() - start
+    assert delivered == n_frames
+    fps = delivered / wall_s
+    return {
+        "replay_fps": fps,
+        "replay_headroom": fps / FRAME_RATE_HZ,
+    }
+
+
+@pytest.mark.slow
+def test_store_io(io_trace, tmp_path):
+    rst_path = tmp_path / "bench.rst"
+    npz_path = tmp_path / "bench.npz"
+
+    write = bench_write(io_trace, rst_path)
+    reads = bench_reads(io_trace, rst_path, npz_path)
+    replay = bench_replay(rst_path, io_trace.n_frames)
+
+    # One .npz↔.rst cross-check while both files exist: identical frames.
+    converted = write_trace(tmp_path / "roundtrip.rst", io_trace)
+    with TraceReader(tmp_path / "roundtrip.rst") as reader:
+        assert reader.content_hash() == converted
+
+    rows = [
+        ["write throughput (MB/s)", f"{write['write_mb_per_s']:.0f}"],
+        ["write rate (frames/s)", f"{write['write_fps']:.0f}"],
+        ["mmap full read (ms)", f"{reads['mmap_read_s'] * 1e3:.1f}"],
+        ["npz full read (ms)", f"{reads['npz_read_s'] * 1e3:.1f}"],
+        ["mmap speedup over npz", f"{reads['mmap_speedup']:.1f}x"],
+        ["replay rate (frames/s)", f"{replay['replay_fps']:.0f}"],
+        ["replay headroom vs 25 FPS", f"{replay['replay_headroom']:.0f}x"],
+    ]
+    print_block(
+        format_table(
+            f"Trace store I/O ({io_trace.n_frames} frames x {io_trace.n_bins} bins)",
+            ["quantity", "value"],
+            rows,
+        )
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps({"write": write, "reads": reads, "replay": replay}, indent=2)
+    )
+
+    # Shape assertions: the store must beat the live path by orders of
+    # magnitude, and mmap must not lose to the compressed archive.
+    assert write["write_fps"] > 40 * FRAME_RATE_HZ
+    assert replay["replay_fps"] > 40 * FRAME_RATE_HZ
+    assert reads["mmap_read_s"] < reads["npz_read_s"]

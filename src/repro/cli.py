@@ -9,6 +9,8 @@ Five commands cover the everyday workflows:
 - ``sweep``     — one of the paper's parameter sweeps, printed as a table.
 - ``fleet``     — run many concurrent detector sessions (optionally with
   injected SPI faults) and print health + metrics.
+- ``store``     — record, replay, inspect, and verify chunked ``.rst``
+  recordings (the ``repro.store`` trace container).
 - ``lint``      — run reprolint, the repo's AST-based invariant checker
   (determinism, units discipline, lock discipline, API hygiene).
 
@@ -19,6 +21,8 @@ Examples::
     python -m repro vitals drive.npz
     python -m repro sweep distance --seeds 1 2 3
     python -m repro fleet --vehicles 8 --faults 2 --duration 30
+    python -m repro store record --road bumpy -o drive.rst
+    python -m repro store verify drive.rst
     python -m repro lint src --format json
 """
 
@@ -42,6 +46,7 @@ from repro.eval.sweeps import (
     road_group_sweep,
 )
 from repro.lint.cli import add_lint_arguments, run_lint_safely
+from repro.store.cli import add_store_arguments, run_store
 from repro.physio import ParticipantProfile
 from repro.rf.geometry import SensorPose
 from repro.vehicle.road import ROAD_GROUPS, ROAD_TYPES
@@ -98,6 +103,9 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--workers", type=int, default=4, help="detector worker threads")
     flt.add_argument("--queue-depth", type=int, default=4096, help="per-session queue bound")
     flt.add_argument("--json", help="also write the metrics snapshot to this path")
+
+    sto = sub.add_parser("store", help="record/replay/verify chunked .rst recordings")
+    add_store_arguments(sto)
 
     lnt = sub.add_parser("lint", help="run reprolint, the AST invariant checker")
     add_lint_arguments(lnt)
@@ -263,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         "vitals": _cmd_vitals,
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
+        "store": run_store,
         "lint": run_lint_safely,
     }
     return handlers[args.command](args)

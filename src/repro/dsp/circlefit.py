@@ -278,13 +278,19 @@ def fit_circle_robust(
 
 
 def dominant_radius(r: np.ndarray, n_bins: int = 24) -> float:
-    """Mode of a radial-distance distribution (histogram peak).
+    """Mode of a radial-distance distribution (densest sliding window).
 
     For BlinkRadar's two-ring geometry — an open-eye arc holding the
     majority of samples and an inner closed-eye arc — the *mode* of
     r = |z − c| sits on the dominant (open) ring even when ``c`` is a
     biased centre estimate, unlike the median, which can land between the
     rings. Used by :func:`fit_circle_dominant` to select the ring to fit.
+
+    The mode is located with a sliding window of width ``ptp(r)/n_bins``
+    (the densest such window wins, and its sample mean is returned)
+    rather than a fixed-edge histogram: fixed bins split each ring across
+    edges at random, and an unlucky split can hand the peak bin to a
+    minority ring even when the majority ring holds 2/3 of the samples.
     """
     r = np.asarray(r, dtype=float).ravel()
     if r.size == 0:
@@ -292,9 +298,12 @@ def dominant_radius(r: np.ndarray, n_bins: int = 24) -> float:
     med = float(np.median(r))
     if r.size < 4 or np.ptp(r) <= 1e-12 * max(abs(med), 1e-300):
         return med
-    counts, edges = np.histogram(r, bins=n_bins)
-    peak = int(np.argmax(counts))
-    return float((edges[peak] + edges[peak + 1]) / 2.0)
+    ordered = np.sort(r)
+    width = float(np.ptp(ordered)) / n_bins
+    ends = np.searchsorted(ordered, ordered + width, side="right")
+    counts = ends - np.arange(ordered.size)
+    start = int(np.argmax(counts))
+    return float(np.mean(ordered[start : ends[start]]))
 
 
 def ring_concentration(points: np.ndarray, center: complex, tol: float = 0.08) -> float:
@@ -305,11 +314,21 @@ def ring_concentration(points: np.ndarray, center: complex, tol: float = 0.08) -
     ring is razor thin and captures most samples; from a biased centre the
     rings smear and the score collapses. Used to pick among multi-start
     candidates in :func:`fit_circle_dominant`.
+
+    The acceptance band is ``tol`` times the ring radius, but capped at
+    ``tol`` times a few data spreads: from a centre far outside the data,
+    every sample collapses into a radially thin sliver whose *relative*
+    thickness shrinks like 1/distance, so an uncapped relative band would
+    score arbitrary distant centres as near-perfect rings. The cap keeps
+    the score scale-equivariant (both terms are lengths of the data)
+    while making it a property of the data's own geometry.
     """
     pts = np.asarray(points).ravel()
     radii = np.abs(pts - center)
     ring = dominant_radius(radii)
-    return float(np.mean(np.abs(radii - ring) <= tol * max(ring, 1e-300)))
+    spread = float(np.sqrt(np.mean(np.abs(pts - np.mean(pts)) ** 2)))
+    band = tol * max(min(ring, 3.0 * spread), 1e-300)
+    return float(np.mean(np.abs(radii - ring) <= band))
 
 
 def fit_circle_dominant(

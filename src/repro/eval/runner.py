@@ -6,17 +6,29 @@ ground truth. The paper's evaluation structure maps onto:
 
 - :func:`run_session` — one labelled road/lab session (one CDF sample of
   Fig. 13(a)).
+- :func:`replay_session` — the same scoring applied to a recorded
+  session replayed from a ``.rst`` store file: the detector sees the
+  stored frames bit-for-bit, so results are identical to the session
+  that was recorded.
 - :func:`evaluate_drowsy_battery` — the per-participant drowsiness
   protocol of Sec. V: calibrate the blink-rate classifier on the
   participant's labelled awake/drowsy captures, then classify held-out
-  windows (one CDF sample of Fig. 13(b) per participant).
+  windows (one CDF sample of Fig. 13(b) per participant). Passing a
+  :class:`repro.store.Catalog` caches the expensive captures on disk,
+  so re-runs replay instead of re-simulating.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.store.catalog import Catalog
+    from repro.store.replay import ReplaySource
 
 from repro.core.pipeline import BlinkRadar, BlinkRadarResult
 from repro.core.realtime import RealTimeConfig
@@ -25,7 +37,13 @@ from repro.sim.scenario import Scenario
 from repro.sim.simulator import simulate
 from repro.sim.trace import RadarTrace
 
-__all__ = ["SessionResult", "run_session", "evaluate_drowsy_battery", "session_accuracies"]
+__all__ = [
+    "SessionResult",
+    "run_session",
+    "replay_session",
+    "evaluate_drowsy_battery",
+    "session_accuracies",
+]
 
 
 @dataclass(frozen=True)
@@ -35,9 +53,11 @@ class SessionResult:
     Attributes
     ----------
     scenario:
-        The scenario that was simulated.
+        The scenario that was simulated (None for sessions replayed
+        from a recording, which carries only metadata).
     seed:
-        RNG seed of the realisation.
+        RNG seed of the realisation (-1 when unknown, e.g. a replayed
+        recording without a seed in its metadata).
     score:
         Blink-detection score against ground truth.
     detection:
@@ -46,7 +66,7 @@ class SessionResult:
         The simulated trace (ground truth + frames).
     """
 
-    scenario: Scenario
+    scenario: Scenario | None
     seed: int
     score: BlinkScore
     detection: BlinkRadarResult
@@ -71,6 +91,33 @@ def run_session(
     )
 
 
+def replay_session(
+    source: "str | Path | ReplaySource", config: RealTimeConfig | None = None
+) -> SessionResult:
+    """Score a recorded session replayed from the trace store.
+
+    ``source`` is a ``.rst`` path or an open
+    :class:`~repro.store.replay.ReplaySource`. The stored frames reach
+    the detector bit-for-bit, so for a recording of simulator output
+    the result equals :func:`run_session` on the same realisation,
+    detection for detection.
+    """
+    from repro.store.replay import ReplaySource
+
+    if isinstance(source, ReplaySource):
+        trace = source.to_trace()
+    else:
+        with ReplaySource(source) as replay:
+            trace = replay.to_trace()
+    radar = BlinkRadar(frame_rate_hz=trace.frame_rate_hz, config=config)
+    detection = radar.detect(trace.frames)
+    score = score_blink_detection(trace.blink_times_s, detection.event_times_s)
+    seed = int(trace.metadata.get("seed", -1))
+    return SessionResult(
+        scenario=None, seed=seed, score=score, detection=detection, trace=trace
+    )
+
+
 def session_accuracies(
     scenarios: list[Scenario],
     seeds: list[int],
@@ -90,6 +137,7 @@ def evaluate_drowsy_battery(
     window_s: float = 60.0,
     config: RealTimeConfig | None = None,
     features: str = "rate+duration",
+    catalog: "Catalog | None" = None,
 ) -> float:
     """Per-participant drowsiness accuracy following the paper's protocol.
 
@@ -97,13 +145,17 @@ def evaluate_drowsy_battery(
     the training realisations of both states, then classifies every
     held-out window; returns correctly classified windows / all windows.
     ``features`` selects the model ("rate+duration" default, "rate" for
-    the paper-literal ablation).
+    the paper-literal ablation). With a ``catalog``, every capture is
+    cached in the trace store keyed by (scenario, seed): the first run
+    simulates and records, later runs replay from disk.
     """
     if not train_seeds or not test_seeds:
         raise ValueError("need train and test seeds")
     radar = BlinkRadar(frame_rate_hz=scenario_awake.radar.frame_rate_hz, config=config)
 
     def capture(scenario: Scenario, seed: int) -> np.ndarray:
+        if catalog is not None:
+            return catalog.get_or_simulate(scenario, seed, simulate_fn=simulate).frames
         return simulate(scenario, seed=seed).frames
 
     classifier = radar.train_drowsiness(

@@ -36,12 +36,18 @@ _LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSema
 #: tagged for provenance, exempt from lifecycle requirements).
 _HANDLE_CTORS = frozenset({"SpiBus", "XepDriver", "FrameStream", "UwbRadarDevice"})
 
+#: Trace-store handle types from ``repro.store``: a writer left unclosed
+#: loses its buffered tail chunk and never finalizes, a reader pins an
+#: mmap, a recorder owns a writer.
+_STORE_CTORS = frozenset({"TraceWriter", "TraceReader", "Recorder"})
+
 #: Resource kinds the lifecycle rule enforces, with the method names
 #: that count as releasing them on a path.
 RELEASE_METHODS: dict[str, frozenset[str]] = {
     "thread": frozenset({"join"}),
     "session": frozenset({"close"}),
     "file": frozenset({"close"}),
+    "store": frozenset({"close"}),
 }
 
 #: Kinds with a known release protocol (the lifecycle rule's scope).
@@ -55,6 +61,7 @@ KIND_NOUN: dict[str, str] = {
     "handle": "hardware handle",
     "session": "detector session",
     "file": "file handle",
+    "store": "trace-store handle",
 }
 
 
@@ -75,6 +82,8 @@ def constructor_kind(call: ast.Call) -> str | None:
         return "handle"
     if last == "DetectorSession":
         return "session"
+    if last in _STORE_CTORS:
+        return "store"
     if dotted == "open":
         return "file"
     return None

@@ -138,12 +138,12 @@ class ResourceLifecycleRule(LintRule):
 
     name = "resource-leak"
     summary = (
-        "resources acquired in repro.hardware/repro.fleet must be "
-        "closed/joined on every CFG path, with-governed, or moved"
+        "resources acquired in repro.hardware/repro.fleet/repro.store must "
+        "be closed/joined on every CFG path, with-governed, or moved"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
-        if not ctx.in_package("hardware", "fleet"):
+        if not ctx.in_package("hardware", "fleet", "store"):
             return
         moves_by_line = {
             line: pragmas.moves for line, pragmas in ctx.pragmas.items() if pragmas.moves

@@ -3,8 +3,9 @@
 A trace is what a recording session produces: the complex baseband frame
 matrix the detector consumes, plus the labels the simulator knows exactly
 (blink events, driver state, posture-shift times). Traces round-trip
-through ``.npz`` files so example scripts and benchmarks can cache
-expensive simulations.
+through ``.npz`` files or, with a ``.rst`` suffix, through the chunked
+:mod:`repro.store` container (streamable, checksummed, mmap-readable) so
+example scripts and benchmarks can cache expensive simulations.
 """
 
 from __future__ import annotations
@@ -92,8 +93,19 @@ class RadarTrace:
         return 60.0 * len(self.blink_events) / self.duration_s
 
     def save(self, path: str | Path) -> None:
-        """Serialise to an ``.npz`` file (complex frames kept exactly)."""
+        """Serialise to disk (complex frames kept exactly).
+
+        The suffix picks the container: ``.rst`` writes the chunked
+        :mod:`repro.store` format, anything else an ``.npz`` archive.
+        """
         path = Path(path)
+        if path.suffix == ".rst":
+            # Imported lazily: the store depends on this module for
+            # to_trace(), so a top-level import would be a cycle.
+            from repro.store.writer import write_trace
+
+            write_trace(path, self)
+            return
         events = np.array(
             [(e.start_s, e.duration_s) for e in self.blink_events], dtype=float
         ).reshape(-1, 2)
@@ -111,7 +123,19 @@ class RadarTrace:
 
     @classmethod
     def load(cls, path: str | Path) -> "RadarTrace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        The container is sniffed from the file's magic bytes, not the
+        suffix, so renamed store files still load.
+        """
+        path = Path(path)
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+        if magic == b"RSTR":
+            from repro.store.reader import read_trace
+
+            loaded: RadarTrace = read_trace(path)
+            return loaded
         with np.load(Path(path), allow_pickle=False) as data:
             events = [
                 BlinkEvent(start_s=float(s), duration_s=float(d))

@@ -1,0 +1,42 @@
+"""``repro.store`` — chunked on-disk container for radar recordings.
+
+A dependency-free (numpy-only) trace store: append-only checksummed
+chunks while a session is live (:mod:`~repro.store.writer`,
+:mod:`~repro.store.record`), zero-copy mmap reads and full-file
+verification afterwards (:mod:`~repro.store.reader`), a directory-level
+manifest with content-hash dedup (:mod:`~repro.store.catalog`), and
+replay adapters that drive the device stack, the fleet service, and the
+evaluation harness from disk (:mod:`~repro.store.replay`). The byte
+format is specified in :mod:`~repro.store.format` and
+``docs/store.md``.
+"""
+
+from repro.store.catalog import Catalog, CatalogEntry, scenario_key
+from repro.store.format import (
+    FORMAT_VERSION,
+    StoreError,
+    StoreFormatError,
+    StoreIntegrityError,
+)
+from repro.store.reader import TraceReader, VerifyReport, read_trace
+from repro.store.record import Recorder
+from repro.store.replay import ReplaySource
+from repro.store.writer import DEFAULT_CHUNK_FRAMES, TraceWriter, write_trace
+
+__all__ = [
+    "FORMAT_VERSION",
+    "DEFAULT_CHUNK_FRAMES",
+    "StoreError",
+    "StoreFormatError",
+    "StoreIntegrityError",
+    "TraceWriter",
+    "TraceReader",
+    "VerifyReport",
+    "Recorder",
+    "ReplaySource",
+    "Catalog",
+    "CatalogEntry",
+    "scenario_key",
+    "write_trace",
+    "read_trace",
+]

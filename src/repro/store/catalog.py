@@ -1,0 +1,320 @@
+"""Directory-level catalog of ``.rst`` recordings.
+
+A :class:`Catalog` manages a directory of recordings plus one
+``manifest.json`` describing them: per-entry scenario metadata, frame
+geometry, and the SHA-256 content hash each file's index declares.
+The manifest is rewritten atomically (temp file + ``os.replace``) so a
+crash mid-update never leaves a torn manifest, and entries are deduped
+by content hash — importing the same frames twice registers one file.
+
+:meth:`Catalog.get_or_simulate` is the expensive-capture cache used by
+the evaluation battery: simulation results are keyed by a digest of
+``(scenario, seed)`` and replayed from disk on every later request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.store.format import StoreError, StoreFormatError
+from repro.store.reader import TraceReader, VerifyReport
+from repro.store.writer import DEFAULT_CHUNK_FRAMES, write_trace
+
+__all__ = ["Catalog", "CatalogEntry", "MANIFEST_NAME", "scenario_key"]
+
+MANIFEST_NAME = "manifest.json"
+
+#: Manifest schema version, bumped independently of the file format.
+MANIFEST_VERSION = 1
+
+
+def scenario_key(scenario: Any, seed: int) -> str:
+    """Deterministic cache key for one scenario realisation.
+
+    Dataclass ``repr`` covers every field recursively, so any parameter
+    change produces a new key; the digest keeps manifest keys short and
+    filename-safe.
+    """
+    text = f"{scenario!r}|seed={seed}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class CatalogEntry:
+    """One manifest row: a named recording and its descriptors."""
+
+    def __init__(
+        self,
+        name: str,
+        filename: str,
+        content_hash: str,
+        n_frames: int,
+        n_bins: int,
+        frame_rate_hz: float,
+        metadata: dict[str, Any],
+        key: str | None = None,
+    ) -> None:
+        self.name = name
+        self.filename = filename
+        self.content_hash = content_hash
+        self.n_frames = n_frames
+        self.n_bins = n_bins
+        self.frame_rate_hz = frame_rate_hz
+        self.metadata = metadata
+        self.key = key
+
+    def to_dict(self) -> dict[str, Any]:
+        """Manifest JSON representation."""
+        row: dict[str, Any] = {
+            "filename": self.filename,
+            "content_hash": self.content_hash,
+            "n_frames": self.n_frames,
+            "n_bins": self.n_bins,
+            "frame_rate_hz": self.frame_rate_hz,
+            "metadata": self.metadata,
+        }
+        if self.key is not None:
+            row["key"] = self.key
+        return row
+
+    @classmethod
+    def from_dict(cls, name: str, row: dict[str, Any]) -> "CatalogEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=name,
+            filename=str(row["filename"]),
+            content_hash=str(row["content_hash"]),
+            n_frames=int(row["n_frames"]),
+            n_bins=int(row["n_bins"]),
+            frame_rate_hz=float(row["frame_rate_hz"]),
+            metadata=dict(row.get("metadata", {})),
+            key=None if row.get("key") is None else str(row["key"]),
+        )
+
+
+class Catalog:
+    """A directory of recordings with an atomic JSON manifest."""
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StoreError(f"catalog directory {self.root} does not exist")
+        self._entries: dict[str, CatalogEntry] = {}
+        self._load_manifest()
+
+    # --------------------------------------------------------------- manifest
+    @property
+    def manifest_path(self) -> Path:
+        """Location of the catalog's manifest file."""
+        return self.root / MANIFEST_NAME
+
+    def _load_manifest(self) -> None:
+        if not self.manifest_path.exists():
+            return
+        try:
+            raw = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreFormatError(
+                f"catalog manifest {self.manifest_path} is unreadable: {exc}"
+            ) from exc
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise StoreFormatError(
+                f"catalog manifest {self.manifest_path} has no entries table"
+            )
+        for name, row in raw["entries"].items():
+            self._entries[str(name)] = CatalogEntry.from_dict(str(name), row)
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "entries": {
+                name: entry.to_dict() for name, entry in sorted(self._entries.items())
+            },
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[CatalogEntry]:
+        return iter(sorted(self._entries.values(), key=lambda e: e.name))
+
+    def names(self) -> list[str]:
+        """Entry names, sorted."""
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The manifest row for ``name``."""
+        if name not in self._entries:
+            raise KeyError(f"catalog has no entry named {name!r}")
+        return self._entries[name]
+
+    def path(self, name: str) -> Path:
+        """Absolute path of the recording behind ``name``."""
+        return self.root / self.entry(name).filename
+
+    def open(self, name: str) -> TraceReader:
+        """Open the named recording (caller closes)."""
+        return TraceReader(self.path(name))
+
+    def find_by_hash(self, content_hash: str) -> CatalogEntry | None:
+        """The entry whose file holds exactly these frames, if any."""
+        for item in self._entries.values():
+            if item.content_hash == content_hash:
+                return item
+        return None
+
+    def find_by_key(self, key: str) -> CatalogEntry | None:
+        """The entry cached under a :func:`scenario_key`, if any."""
+        for item in self._entries.values():
+            if item.key == key:
+                return item
+        return None
+
+    # --------------------------------------------------------------- mutation
+    def add(self, path: str | Path, name: str | None = None) -> CatalogEntry:
+        """Register an existing ``.rst`` file (copied names stay outside).
+
+        The file must already live inside the catalog directory. If a
+        registered entry holds identical frames (same content hash), it
+        is returned unchanged instead of adding a duplicate row.
+        """
+        path = Path(path)
+        if path.parent.resolve() != self.root.resolve():
+            raise StoreError(
+                f"{path} is outside the catalog directory {self.root}; "
+                "record into the catalog or move the file first"
+            )
+        with TraceReader(path) as reader:
+            digest = reader.content_hash()
+            existing = self.find_by_hash(digest)
+            if existing is not None:
+                return existing
+            entry_name = path.stem if name is None else name
+            if entry_name in self._entries:
+                raise StoreError(f"catalog already has an entry named {entry_name!r}")
+            item = CatalogEntry(
+                name=entry_name,
+                filename=path.name,
+                content_hash=digest,
+                n_frames=reader.n_frames,
+                n_bins=reader.n_bins,
+                frame_rate_hz=reader.frame_rate_hz,
+                metadata=dict(reader.metadata),
+            )
+        self._entries[entry_name] = item
+        self._write_manifest()
+        return item
+
+    def import_trace(
+        self,
+        trace: Any,
+        name: str,
+        key: str | None = None,
+        chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+    ) -> CatalogEntry:
+        """Write a trace into the catalog and register it.
+
+        Dedup: when an existing entry already holds identical frames the
+        new file is discarded and the existing entry returned.
+        """
+        if name in self._entries:
+            raise StoreError(f"catalog already has an entry named {name!r}")
+        filename = f"{name}.rst"
+        target = self.root / filename
+        tmp = self.root / f".{name}.rst.tmp"
+        digest = write_trace(tmp, trace, chunk_frames=chunk_frames)
+        existing = self.find_by_hash(digest)
+        if existing is not None:
+            tmp.unlink()
+            if key is not None and existing.key is None:
+                # Adopt the cache key so later lookups hit this entry.
+                existing.key = key
+                self._write_manifest()
+            return existing
+        os.replace(tmp, target)
+        item = CatalogEntry(
+            name=name,
+            filename=filename,
+            content_hash=digest,
+            n_frames=int(trace.n_frames),
+            n_bins=int(trace.n_bins),
+            frame_rate_hz=float(trace.frame_rate_hz),
+            metadata=dict(trace.metadata),
+            key=key,
+        )
+        self._entries[name] = item
+        self._write_manifest()
+        return item
+
+    def remove(self, name: str, delete_file: bool = False) -> None:
+        """Drop an entry from the manifest (optionally its file too)."""
+        item = self.entry(name)
+        del self._entries[name]
+        self._write_manifest()
+        if delete_file:
+            target = self.root / item.filename
+            if target.exists():
+                target.unlink()
+
+    # ------------------------------------------------------------------ cache
+    def get_or_simulate(
+        self,
+        scenario: Any,
+        seed: int,
+        simulate_fn: Callable[..., Any] | None = None,
+    ) -> Any:
+        """Replay a cached realisation, simulating (and caching) on miss.
+
+        The cache key digests ``repr((scenario, seed))``, so any change
+        to the scenario invalidates the cached capture. ``simulate_fn``
+        defaults to :func:`repro.sim.simulator.simulate` and is only
+        called on a miss.
+        """
+        key = scenario_key(scenario, seed)
+        hit = self.find_by_key(key)
+        if hit is not None:
+            with self.open(hit.name) as reader:
+                return reader.to_trace()
+        if simulate_fn is None:
+            from repro.sim.simulator import simulate
+
+            simulate_fn = simulate
+        trace = simulate_fn(scenario, seed=seed)
+        self.import_trace(trace, name=f"capture-{key}", key=key)
+        return trace
+
+    # ----------------------------------------------------------------- verify
+    def verify(self) -> list[VerifyReport]:
+        """Run a full integrity check over every registered recording."""
+        reports: list[VerifyReport] = []
+        for item in self:
+            target = self.root / item.filename
+            if not target.exists():
+                report = VerifyReport(path=str(target))
+                report.errors.append("file missing from catalog directory")
+                reports.append(report)
+                continue
+            with TraceReader(target) as reader:
+                report = reader.verify()
+                if reader.content_hash() != item.content_hash:
+                    report.errors.append(
+                        "manifest: content hash does not match the file index"
+                    )
+            reports.append(report)
+        return reports

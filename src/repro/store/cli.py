@@ -1,0 +1,225 @@
+"""``python -m repro store`` — record, inspect, verify, and replay.
+
+Subcommands::
+
+    repro store record  --road bumpy --state drowsy -o drive.rst
+    repro store record  --from-trace drive.npz -o drive.rst
+    repro store replay  drive.rst
+    repro store info    drive.rst
+    repro store verify  drive.rst traces/
+    repro store ls      traces/
+
+``record`` streams a simulated session through a
+:class:`~repro.store.record.Recorder` (the same tee the hardware path
+uses); ``replay`` feeds the recording back through the detector and
+scores it against the embedded ground truth; ``verify`` recomputes
+every checksum and exits non-zero on damage.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.store.catalog import MANIFEST_NAME, Catalog
+from repro.store.reader import TraceReader, VerifyReport
+from repro.store.record import Recorder
+from repro.store.replay import ReplaySource
+
+__all__ = ["add_store_arguments", "run_store"]
+
+
+def add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the store subcommands on ``parser``."""
+    sub = parser.add_subparsers(dest="store_command", required=True)
+
+    from repro.vehicle import ROAD_TYPES
+
+    rec = sub.add_parser("record", help="record a session into a .rst file")
+    rec.add_argument("--road", default="smooth_highway", choices=sorted(ROAD_TYPES))
+    rec.add_argument("--state", default="awake", choices=["awake", "drowsy"])
+    rec.add_argument("--duration", type=float, default=60.0, help="seconds")
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument("--participant", default="CLI")
+    rec.add_argument(
+        "--from-trace",
+        default=None,
+        metavar="PATH",
+        help="convert an existing trace file instead of simulating",
+    )
+    rec.add_argument(
+        "--chunk-frames", type=int, default=None, help="frames per chunk block"
+    )
+    rec.add_argument("-o", "--output", required=True, help="output .rst path")
+
+    rep = sub.add_parser("replay", help="replay a recording through the detector")
+    rep.add_argument("recording", help="input .rst path")
+    rep.add_argument(
+        "--start-frame", type=int, default=0, help="seek before replaying"
+    )
+
+    inf = sub.add_parser("info", help="describe a recording")
+    inf.add_argument("recording", help="input .rst path")
+    inf.add_argument(
+        "--recover",
+        action="store_true",
+        help="scan an unfinalized recording instead of reading its index",
+    )
+
+    ver = sub.add_parser("verify", help="recompute every checksum")
+    ver.add_argument(
+        "paths", nargs="+", help=".rst files and/or catalog directories"
+    )
+
+    lst = sub.add_parser("ls", help="list a catalog directory")
+    lst.add_argument("directory", help=f"directory holding {MANIFEST_NAME}")
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.sim.trace import RadarTrace
+    from repro.store.writer import DEFAULT_CHUNK_FRAMES
+
+    if args.from_trace is not None:
+        trace = RadarTrace.load(args.from_trace)
+    else:
+        from repro.physio import ParticipantProfile
+        from repro.sim.scenario import Scenario
+        from repro.sim.simulator import simulate
+
+        scenario = Scenario(
+            participant=ParticipantProfile(args.participant),
+            road=args.road,
+            state=args.state,
+            duration_s=args.duration,
+        )
+        trace = simulate(scenario, seed=args.seed)
+
+    chunk_frames = (
+        DEFAULT_CHUNK_FRAMES if args.chunk_frames is None else args.chunk_frames
+    )
+    metadata = dict(trace.metadata)
+    metadata.setdefault("seed", args.seed)
+    with Recorder(
+        args.output,
+        n_bins=trace.n_bins,
+        frame_rate_hz=trace.frame_rate_hz,
+        dtype=trace.frames.dtype,
+        chunk_frames=chunk_frames,
+        metadata=metadata,
+    ) as recorder:
+        recorded = recorder.drain(zip(trace.timestamps_s, trace.frames))
+        recorder.set_labels(
+            blink_events=[(e.start_s, e.duration_s) for e in trace.blink_events],
+            state=trace.state,
+            eye_bin=trace.eye_bin,
+            posture_shift_times_s=list(trace.posture_shift_times_s),
+        )
+    # Read after close: only then does the hash cover the final chunk.
+    digest = recorder.content_hash()
+    print(
+        f"recorded {args.output}: {recorded} frames x {trace.n_bins} bins, "
+        f"{len(trace.blink_events)} blinks, sha256={digest[:16]}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.eval.report import format_table
+    from repro.eval.runner import replay_session
+
+    with ReplaySource(args.recording, start_frame=args.start_frame) as source:
+        result = replay_session(source)
+    rows = [
+        ["true blinks", len(result.trace.blink_events)],
+        ["detected", len(result.detection.events)],
+        ["accuracy (paper metric)", f"{result.score.accuracy:.3f}"],
+        ["precision", f"{result.score.precision:.3f}"],
+        ["F1", f"{result.score.f1:.3f}"],
+        ["restarts", len(result.detection.restart_times_s)],
+    ]
+    print(format_table(f"Replay of {args.recording}", ["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.eval.report import format_table
+
+    with TraceReader(args.recording, recover=args.recover) as reader:
+        labels = reader.labels
+        rows = [
+            ["format version", reader.header.version],
+            ["dtype", reader.header.dtype.name],
+            ["frames x bins", f"{reader.n_frames} x {reader.n_bins}"],
+            ["chunks", reader.n_chunks],
+            ["frame rate (hz)", f"{reader.frame_rate_hz:.1f}"],
+            ["duration (s)", f"{reader.duration_s:.1f}"],
+            ["content sha256", reader.content_hash()[:16]],
+            ["index", "recovered by scan" if reader.recovered else "footer"],
+        ]
+        if labels is not None:
+            rows.append(["blinks (labelled)", len(labels.get("blink_events", []))])
+            rows.append(["state", labels.get("state", "?")])
+        for key in sorted(reader.metadata):
+            rows.append([f"meta.{key}", reader.metadata[key]])
+    print(format_table(f"Store file {args.recording}", ["field", "value"], rows))
+    return 0
+
+
+def _verify_one(path: Path) -> list[VerifyReport]:
+    if path.is_dir():
+        return Catalog(path, create=False).verify()
+    with TraceReader(path) as reader:
+        return [reader.verify()]
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    failures = 0
+    for raw in args.paths:
+        for report in _verify_one(Path(raw)):
+            if report.ok:
+                print(
+                    f"ok       {report.path}: {report.n_frames} frames "
+                    f"in {report.n_chunks} chunks"
+                )
+            else:
+                failures += 1
+                print(f"CORRUPT  {report.path}:")
+                for error in report.errors:
+                    print(f"         - {error}")
+    return 1 if failures else 0
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    from repro.eval.report import format_table
+
+    catalog = Catalog(args.directory, create=False)
+    rows = [
+        [
+            entry.name,
+            f"{entry.n_frames} x {entry.n_bins}",
+            f"{entry.frame_rate_hz:.0f}",
+            entry.content_hash[:12],
+            "cached" if entry.key is not None else "",
+        ]
+        for entry in catalog
+    ]
+    print(
+        format_table(
+            f"Catalog {args.directory} ({len(catalog)} entries)",
+            ["name", "frames x bins", "hz", "sha256", "role"],
+            rows,
+        )
+    )
+    return 0
+
+
+def run_store(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``repro store`` invocation."""
+    handlers = {
+        "record": _cmd_record,
+        "replay": _cmd_replay,
+        "info": _cmd_info,
+        "verify": _cmd_verify,
+        "ls": _cmd_ls,
+    }
+    return handlers[args.store_command](args)

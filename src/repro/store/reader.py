@@ -1,0 +1,487 @@
+"""Memory-mapped reader for ``.rst`` recordings.
+
+:class:`TraceReader` opens a finalized recording through its footer
+index, maps the file, and hands out zero-copy numpy views of the frame
+chunks. Every chunk's CRC is checked once, on first access, so corrupt
+bytes raise :class:`~repro.store.format.StoreIntegrityError` instead of
+flowing silently into the detector; :meth:`TraceReader.verify` checks
+the whole file (every checksum, the index cross-references, and the
+content hash) without waiting for reads to trip over the damage.
+
+Unfinalized recordings — a crashed recorder, a power cut — are opened
+with ``recover=True``, which rebuilds the index by scanning blocks
+sequentially until the bytes run out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.store.format import (
+    BLOCK_HEADER_SIZE,
+    HEADER_SIZE,
+    KIND_CHUNK,
+    KIND_INDEX,
+    KIND_LABELS,
+    KIND_META,
+    TRAILER_SIZE,
+    Header,
+    StoreError,
+    StoreFormatError,
+    StoreIntegrityError,
+    crc32,
+    decode_json_payload,
+    padded_length,
+    unpack_block_header,
+    unpack_header,
+    unpack_trailer,
+)
+
+__all__ = ["TraceReader", "VerifyReport", "read_trace"]
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """Index entry for one frame chunk."""
+
+    offset: int  # file offset of the block header
+    n_frames: int
+    payload_len: int
+    start: int  # cumulative frame index of the chunk's first frame
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-file integrity check."""
+
+    path: str
+    n_chunks: int = 0
+    n_frames: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no check failed."""
+        return not self.errors
+
+
+class TraceReader:
+    """Read a chunked recording with zero-copy mmap access.
+
+    Parameters
+    ----------
+    path:
+        A finalized ``.rst`` file (or an unfinalized one with
+        ``recover=True``).
+    recover:
+        Rebuild the index by scanning blocks sequentially instead of
+        trusting the footer — for recordings that were never finalized.
+        Labels/metadata blocks found during the scan are honoured.
+    """
+
+    def __init__(self, path: str | Path, recover: bool = False) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        self._closed = False
+        try:
+            self._map: mmap.mmap = mmap.mmap(
+                self._fh.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as exc:
+            self._fh.close()
+            self._closed = True
+            raise StoreFormatError(f"cannot map {self.path}: {exc}") from exc
+        try:
+            self.header: Header = unpack_header(self._map[:HEADER_SIZE])
+            self._chunks: list[_Chunk] = []
+            self._meta_block: tuple[int, int] | None = None
+            self._labels_block: tuple[int, int] | None = None
+            self._index: dict[str, Any] | None = None
+            self._recovered = False
+            if recover:
+                self._scan_blocks()
+                self._recovered = True
+            else:
+                self._load_index()
+            self._verified_chunks: set[int] = set()
+            self._metadata: dict[str, Any] | None = None
+            self._labels: dict[str, Any] | None = None
+        except BaseException:
+            self.close()
+            raise
+
+    # ---------------------------------------------------------------- indexing
+    def _block_at(self, offset: int) -> tuple[int, int, int, int]:
+        """Parse the block header at ``offset``.
+
+        Returns ``(kind, n_frames, payload_len, payload_offset)``; the
+        header CRC is checked here, the payload CRC is not.
+        """
+        raw = self._map[offset : offset + BLOCK_HEADER_SIZE]
+        block = unpack_block_header(raw)
+        payload_offset = offset + BLOCK_HEADER_SIZE
+        if payload_offset + block.payload_len > len(self._map):
+            raise StoreFormatError(
+                f"block at offset {offset} claims {block.payload_len} payload bytes "
+                "past end of file"
+            )
+        return block.kind, block.n_frames, block.payload_len, payload_offset
+
+    def _register_block(
+        self, kind: int, n_frames: int, payload_len: int, offset: int, start: int
+    ) -> int:
+        if kind == KIND_CHUNK:
+            expected = n_frames * (8 + self.header.frame_nbytes)
+            if payload_len != expected:
+                raise StoreFormatError(
+                    f"chunk at offset {offset} holds {payload_len} bytes, "
+                    f"expected {expected} for {n_frames} frames"
+                )
+            self._chunks.append(
+                _Chunk(offset=offset, n_frames=n_frames, payload_len=payload_len, start=start)
+            )
+            return n_frames
+        if kind == KIND_META:
+            self._meta_block = (offset, payload_len)
+        elif kind == KIND_LABELS:
+            self._labels_block = (offset, payload_len)
+        return 0
+
+    def _load_index(self) -> None:
+        index_offset = unpack_trailer(self._map[-TRAILER_SIZE:])
+        kind, _n, payload_len, payload_offset = self._block_at(index_offset)
+        if kind != KIND_INDEX:
+            raise StoreFormatError("trailer does not point at an index block")
+        payload = self._checked_payload(index_offset, payload_offset, payload_len)
+        self._index = decode_json_payload(payload, "index")
+        start = 0
+        for entry in self._index.get("blocks", []):
+            b_kind, b_offset, b_len, b_frames = (int(v) for v in entry)
+            start += self._register_block(b_kind, b_frames, b_len, b_offset, start)
+        declared = int(self._index.get("n_frames", -1))
+        if declared != start:
+            raise StoreIntegrityError(
+                f"index declares {declared} frames but chunks hold {start}"
+            )
+
+    def _scan_blocks(self) -> None:
+        offset = HEADER_SIZE
+        start = 0
+        size = len(self._map)
+        while offset + BLOCK_HEADER_SIZE <= size:
+            try:
+                kind, n_frames, payload_len, payload_offset = self._block_at(offset)
+            except StoreError:
+                break  # torn tail: keep everything before it
+            if kind == KIND_INDEX:
+                break
+            end = payload_offset + padded_length(payload_len)
+            if end > size:
+                break
+            start += self._register_block(kind, n_frames, payload_len, offset, start)
+            offset = end
+
+    def _checked_payload(
+        self, block_offset: int, payload_offset: int, payload_len: int
+    ) -> memoryview:
+        block = unpack_block_header(
+            self._map[block_offset : block_offset + BLOCK_HEADER_SIZE]
+        )
+        payload = memoryview(self._map)[payload_offset : payload_offset + payload_len]
+        if crc32(payload) != block.payload_crc:
+            raise StoreIntegrityError(
+                f"payload checksum mismatch in block at offset {block_offset} "
+                f"of {self.path}"
+            )
+        return payload
+
+    # ---------------------------------------------------------------- geometry
+    @property
+    def n_frames(self) -> int:
+        """Total frames across all chunks."""
+        if not self._chunks:
+            return 0
+        last = self._chunks[-1]
+        return last.start + last.n_frames
+
+    @property
+    def n_bins(self) -> int:
+        """Fast-time bins per frame."""
+        return self.header.n_bins
+
+    @property
+    def frame_rate_hz(self) -> float:
+        """Nominal slow-time frame rate from the header."""
+        return self.header.frame_rate_hz
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of frame chunks."""
+        return len(self._chunks)
+
+    @property
+    def recovered(self) -> bool:
+        """True when the index was rebuilt by a sequential scan."""
+        return self._recovered
+
+    @property
+    def duration_s(self) -> float:
+        """Recording length implied by frame count and rate."""
+        return self.n_frames / self.frame_rate_hz
+
+    def content_hash(self) -> str:
+        """Chunking-invariant data identity (recomputed on recover).
+
+        Same construction as the writer:
+        ``sha256(sha256(timestamps) || sha256(frames))``.
+        """
+        if self._index is not None and "content_hash" in self._index:
+            return str(self._index["content_hash"])
+        return self._recompute_content_hash()
+
+    def _recompute_content_hash(self) -> str:
+        times_hash = hashlib.sha256()
+        frames_hash = hashlib.sha256()
+        for chunk in self._chunks:
+            payload = self._chunk_payload(chunk)
+            split = chunk.n_frames * 8
+            times_hash.update(payload[:split])
+            frames_hash.update(payload[split:])
+        combined = hashlib.sha256()
+        combined.update(times_hash.digest())
+        combined.update(frames_hash.digest())
+        return combined.hexdigest()
+
+    # -------------------------------------------------------------- chunk data
+    def _chunk_payload(self, chunk: _Chunk) -> memoryview:
+        return memoryview(self._map)[
+            chunk.offset + BLOCK_HEADER_SIZE : chunk.offset
+            + BLOCK_HEADER_SIZE
+            + chunk.payload_len
+        ]
+
+    def _chunk_arrays(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, frames) views of chunk ``i``, CRC-checked once."""
+        chunk = self._chunks[i]
+        if i not in self._verified_chunks:
+            self._checked_payload(
+                chunk.offset, chunk.offset + BLOCK_HEADER_SIZE, chunk.payload_len
+            )
+            self._verified_chunks.add(i)
+        payload = self._chunk_payload(chunk)
+        times = np.frombuffer(payload, dtype="<f8", count=chunk.n_frames)
+        frames = np.frombuffer(
+            payload,
+            dtype=self.header.dtype,
+            count=chunk.n_frames * self.header.n_bins,
+            offset=chunk.n_frames * 8,
+        ).reshape(chunk.n_frames, self.header.n_bins)
+        return times, frames
+
+    def chunk_frames(self, i: int) -> np.ndarray:
+        """Zero-copy frame view of chunk ``i``."""
+        return self._chunk_arrays(i)[1]
+
+    def _chunk_range(self, start: int, stop: int) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(chunk index, local start, local stop)`` covering the span."""
+        for i, chunk in enumerate(self._chunks):
+            lo = max(start, chunk.start)
+            hi = min(stop, chunk.start + chunk.n_frames)
+            if lo < hi:
+                yield i, lo - chunk.start, hi - chunk.start
+
+    def read(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Frames ``[start:stop)`` — a zero-copy view when the span lies in
+        one chunk, otherwise a fresh concatenated array."""
+        start, stop = self._clamp(start, stop)
+        parts = [
+            self._chunk_arrays(i)[1][lo:hi] for i, lo, hi in self._chunk_range(start, stop)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        if not parts:
+            return np.empty((0, self.n_bins), dtype=self.header.dtype)
+        return np.concatenate(parts, axis=0)
+
+    def timestamps(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Slow-time stamps ``[start:stop)`` (same span rules as :meth:`read`)."""
+        start, stop = self._clamp(start, stop)
+        parts = [
+            self._chunk_arrays(i)[0][lo:hi] for i, lo, hi in self._chunk_range(start, stop)
+        ]
+        if len(parts) == 1:
+            return parts[0]
+        if not parts:
+            return np.empty(0, dtype=float)
+        return np.concatenate(parts)
+
+    def _clamp(self, start: int, stop: int | None) -> tuple[int, int]:
+        n = self.n_frames
+        if start < 0 or (stop is not None and stop < start):
+            raise ValueError(f"bad frame range [{start}, {stop})")
+        return min(start, n), n if stop is None else min(stop, n)
+
+    @property
+    def frames(self) -> np.ndarray:
+        """The full frame matrix (zero-copy for single-chunk files)."""
+        return self.read()
+
+    def iter_frames(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[float, np.ndarray]]:
+        """Yield ``(timestamp_s, frame)`` pairs across the span."""
+        start, stop = self._clamp(start, stop)
+        for i, lo, hi in self._chunk_range(start, stop):
+            times, frames = self._chunk_arrays(i)
+            for k in range(lo, hi):
+                yield float(times[k]), frames[k]
+
+    # ------------------------------------------------------------ labels, meta
+    @property
+    def metadata(self) -> dict[str, Any]:
+        """Free-form scenario metadata (decoded lazily, cached)."""
+        if self._metadata is None:
+            if self._meta_block is None:
+                self._metadata = {}
+            else:
+                offset, length = self._meta_block
+                payload = self._checked_payload(offset, offset + BLOCK_HEADER_SIZE, length)
+                self._metadata = decode_json_payload(payload, "metadata")
+        return self._metadata
+
+    @property
+    def labels(self) -> dict[str, Any] | None:
+        """Ground-truth labels, or None when the recording has none.
+
+        Decoded lazily on first access — listing or streaming a
+        recording never pays for JSON parsing of the label block.
+        """
+        if self._labels is None and self._labels_block is not None:
+            offset, length = self._labels_block
+            payload = self._checked_payload(offset, offset + BLOCK_HEADER_SIZE, length)
+            self._labels = decode_json_payload(payload, "labels")
+        return self._labels
+
+    # ------------------------------------------------------------------ verify
+    def verify(self) -> VerifyReport:
+        """Recheck every checksum and cross-reference in the file."""
+        report = VerifyReport(path=str(self.path))
+        try:
+            unpack_header(self._map[:HEADER_SIZE])
+        except StoreError as exc:
+            report.errors.append(f"header: {exc}")
+        times_hash = hashlib.sha256()
+        frames_hash = hashlib.sha256()
+        expected_start = 0
+        for i, chunk in enumerate(self._chunks):
+            # Frame counts and starts come from the block header, whose
+            # own CRC already passed — trust them even when the payload
+            # is damaged, so one corrupt byte convicts one chunk instead
+            # of cascading into bogus start/count errors downstream.
+            report.n_chunks += 1
+            report.n_frames += chunk.n_frames
+            if chunk.start != expected_start:
+                report.errors.append(
+                    f"chunk {i}: starts at frame {chunk.start}, expected {expected_start}"
+                )
+            expected_start = chunk.start + chunk.n_frames
+            try:
+                payload = self._checked_payload(
+                    chunk.offset, chunk.offset + BLOCK_HEADER_SIZE, chunk.payload_len
+                )
+            except StoreError as exc:
+                report.errors.append(f"chunk {i}: {exc}")
+                continue
+            split = chunk.n_frames * 8
+            times_hash.update(payload[:split])
+            frames_hash.update(payload[split:])
+        for name, block in (("metadata", self._meta_block), ("labels", self._labels_block)):
+            if block is None:
+                continue
+            offset, length = block
+            try:
+                payload = self._checked_payload(offset, offset + BLOCK_HEADER_SIZE, length)
+                decode_json_payload(payload, name)
+            except StoreError as exc:
+                report.errors.append(f"{name}: {exc}")
+        if self._index is not None:
+            declared = int(self._index.get("n_frames", -1))
+            if declared != report.n_frames:
+                report.errors.append(
+                    f"index: declares {declared} frames, chunks hold {report.n_frames}"
+                )
+            combined = hashlib.sha256()
+            combined.update(times_hash.digest())
+            combined.update(frames_hash.digest())
+            recorded_hash = self._index.get("content_hash")
+            if recorded_hash is not None and recorded_hash != combined.hexdigest():
+                report.errors.append("index: content hash mismatch")
+        return report
+
+    # --------------------------------------------------------------- convert
+    def to_trace(self) -> Any:
+        """Materialize the recording as a :class:`~repro.sim.trace.RadarTrace`.
+
+        Imported lazily so the store stays usable without the simulator
+        package (and to avoid an import cycle: ``sim.trace`` dispatches
+        its own save/load through this package).
+        """
+        from repro.physio.blink import BlinkEvent
+        from repro.sim.trace import RadarTrace
+
+        labels = self.labels if self.labels is not None else {}
+        eye_bin = labels.get("eye_bin")
+        return RadarTrace(
+            frames=np.array(self.read()),
+            timestamps_s=np.array(self.timestamps()),
+            frame_rate_hz=self.frame_rate_hz,
+            blink_events=[
+                BlinkEvent(start_s=float(s), duration_s=float(d))
+                for s, d in labels.get("blink_events", [])
+            ],
+            state=str(labels.get("state", "awake")),
+            eye_bin=None if eye_bin is None else int(eye_bin),
+            posture_shift_times_s=[
+                float(t) for t in labels.get("posture_shift_times_s", [])
+            ],
+            metadata=dict(self.metadata),
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the mapping and file handle."""
+        if self._closed:
+            return
+        self._closed = True
+        if hasattr(self, "_map"):
+            try:
+                self._map.close()
+            except BufferError:
+                # Zero-copy views into the map are still alive; the OS
+                # releases the mapping when the last view is collected.
+                pass
+        self._fh.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path, recover: bool = False) -> Any:
+    """Load a ``.rst`` file as a :class:`~repro.sim.trace.RadarTrace`."""
+    with TraceReader(path, recover=recover) as reader:
+        return reader.to_trace()

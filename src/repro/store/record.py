@@ -1,0 +1,116 @@
+"""Tee live frames to disk while downstream consumers keep running.
+
+:class:`Recorder` wraps a :class:`~repro.store.writer.TraceWriter` and
+splits any ``(timestamp_s, frame)`` stream — a
+:class:`~repro.hardware.driver.FrameStream`, simulator output, a replay
+— into two consumers: the file on disk and whatever iterates the teed
+stream. Frames pass through unchanged and unbuffered, so the detector
+downstream sees exactly what it would have seen without the recorder.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.store.writer import DEFAULT_CHUNK_FRAMES, TraceWriter
+
+__all__ = ["Recorder"]
+
+
+class Recorder:
+    """Record a frame stream to a ``.rst`` file as it flows past.
+
+    Parameters mirror :class:`~repro.store.writer.TraceWriter`; the
+    recorder owns the writer and must be closed (it is a context
+    manager, and like the writer it finalizes only on clean exit so an
+    aborted session leaves a crash-shaped, recoverable file).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_bins: int,
+        frame_rate_hz: float,
+        dtype: np.dtype | type | str = np.complex64,
+        chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        self._writer = TraceWriter(
+            path,
+            n_bins=n_bins,
+            frame_rate_hz=frame_rate_hz,
+            dtype=dtype,
+            chunk_frames=chunk_frames,
+            metadata=metadata,
+        )
+
+    @property
+    def path(self) -> Path:
+        """Destination file."""
+        return self._writer.path
+
+    @property
+    def n_frames(self) -> int:
+        """Frames recorded so far."""
+        return self._writer.n_frames
+
+    def content_hash(self) -> str:
+        """Hex SHA-256 over all flushed chunk payloads so far."""
+        return self._writer.content_hash()
+
+    # ---------------------------------------------------------------- record
+    def tee(
+        self, stream: Iterable[tuple[float, np.ndarray]]
+    ) -> Iterator[tuple[float, np.ndarray]]:
+        """Yield ``stream`` unchanged, appending each frame to disk.
+
+        The write happens *before* the yield: every frame the consumer
+        has seen is already in the writer's buffer, so a consumer crash
+        can never lose frames it processed.
+        """
+        for timestamp_s, frame in stream:
+            self._writer.append(frame, timestamp_s)
+            yield timestamp_s, frame
+
+    def drain(self, stream: Iterable[tuple[float, np.ndarray]]) -> int:
+        """Record ``stream`` to exhaustion with no consumer; frame count."""
+        count = 0
+        for timestamp_s, frame in stream:
+            self._writer.append(frame, timestamp_s)
+            count += 1
+        return count
+
+    def set_labels(
+        self,
+        blink_events: list[tuple[float, float]] | None = None,
+        state: str = "awake",
+        eye_bin: int | None = None,
+        posture_shift_times_s: list[float] | None = None,
+    ) -> None:
+        """Attach ground-truth labels (written when the file finalizes)."""
+        self._writer.set_labels(
+            blink_events=blink_events,
+            state=state,
+            eye_bin=eye_bin,
+            posture_shift_times_s=posture_shift_times_s,
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self, finalize: bool = True) -> None:
+        """Finalize (or abandon, with ``finalize=False``) the recording."""
+        self._writer.close(finalize=finalize)
+
+    def __enter__(self) -> "Recorder":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close(finalize=exc_type is None)

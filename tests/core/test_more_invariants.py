@@ -11,7 +11,10 @@ from repro.eval.metrics import score_blink_detection
 
 class TestConfigInterplay:
     def test_custom_levd_threaded_through(self, lab_trace):
-        tight = RealTimeConfig(levd=LevdConfig(threshold_sigmas=50.0))
+        # 200 sigma sits well above every blink prominence this clean
+        # trace produces at the default threshold (50 sigma turned out to
+        # sit on a knife edge where all blinks still clear the bar).
+        tight = RealTimeConfig(levd=LevdConfig(threshold_sigmas=200.0))
         result = BlinkRadar(25.0, config=tight).detect(lab_trace.frames)
         loose = BlinkRadar(25.0).detect(lab_trace.frames)
         assert len(result.events) < len(loose.events)

@@ -58,6 +58,40 @@ class TestDominantFitProperties:
         plain = fit_circle_pratt(pts)
         assert abs(dominant.center - center) <= abs(plain.center - center) + 0.05
 
+    def test_regression_frac_inner_031_mis_center(self):
+        # Regression for a real Hypothesis find (present at seed): at
+        # frac_inner≈0.31 the candidate scoring used an acceptance band
+        # proportional to the ring radius, so a centre far outside the
+        # data saw the whole blob as a razor-thin annulus and out-scored
+        # the true centre; the mode-gated iteration then converged to the
+        # two-ring compromise circle (centre off by ~0.65 r, radius
+        # ~0.4 r). The band is now capped by the data's own spread.
+        center = complex(-2.6908, -3.5617)
+        r_outer = 2.3722
+        pts = two_ring_scene(
+            center, r_outer, 0.3 * r_outer, frac_inner=0.3169,
+            span=1.4, n=250, noise=0.01 * r_outer, seed=354,
+        )
+        fit = fit_circle_dominant(pts)
+        assert abs(fit.center - center) < 0.15 * r_outer
+        assert fit.radius == pytest.approx(r_outer, rel=0.15)
+
+    def test_regression_minority_ring_histogram_split(self):
+        # Companion regression: with fixed-edge histogram binning the
+        # minority inner ring could win the peak bin when the outer
+        # ring's samples split across a bin edge, locking the fit onto
+        # the inner ring (right centre, radius ~0.3 r). The mode is now
+        # a sliding densest-window estimate, immune to edge splits.
+        center = complex(-3.7292, -3.4700)
+        r_outer = 2.0146
+        pts = two_ring_scene(
+            center, r_outer, 0.3 * r_outer, frac_inner=0.3455,
+            span=1.4, n=250, noise=0.01 * r_outer, seed=311,
+        )
+        fit = fit_circle_dominant(pts)
+        assert abs(fit.center - center) < 0.15 * r_outer
+        assert fit.radius == pytest.approx(r_outer, rel=0.15)
+
     @given(rotation=st.floats(0, 2 * np.pi))
     @settings(max_examples=20, deadline=None)
     def test_rotation_equivariance(self, rotation):

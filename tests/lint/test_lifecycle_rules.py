@@ -173,3 +173,104 @@ class TestResourceLeak:
             rel="repro/eval/snippet.py",
         )
         assert "resource-leak" not in names
+
+
+class TestStoreHandleLeak:
+    STORE = "repro/store/snippet.py"
+
+    def test_unclosed_writer_flagged(self, linter):
+        # A leaked TraceWriter loses its buffered tail chunk and never
+        # writes the index: the recording looks crashed.
+        names = linter.rule_names(
+            """
+            from repro.store.writer import TraceWriter
+
+
+            def record(frames):
+                writer = TraceWriter("out.rst", n_bins=234, frame_rate_hz=25.0)
+                for frame in frames:
+                    writer.append(frame)
+            """,
+            rel=self.STORE,
+        )
+        assert "resource-leak" in names
+
+    def test_unclosed_reader_on_early_return_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.store.reader import TraceReader
+
+
+            def peek(path, skip):
+                reader = TraceReader(path)
+                if skip:
+                    return None
+                frames = reader.read()
+                reader.close()
+                return frames
+            """,
+            rel=self.STORE,
+        )
+        assert "resource-leak" in names
+
+    def test_unclosed_recorder_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.store.record import Recorder
+
+
+            def capture(stream):
+                recorder = Recorder("out.rst", n_bins=234, frame_rate_hz=25.0)
+                recorder.drain(stream)
+            """,
+            rel=self.STORE,
+        )
+        assert "resource-leak" in names
+
+    def test_with_governed_writer_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.store.writer import TraceWriter
+
+
+            def record(frames):
+                with TraceWriter("out.rst", n_bins=234, frame_rate_hz=25.0) as writer:
+                    for frame in frames:
+                        writer.append(frame)
+            """,
+            rel=self.STORE,
+        )
+        assert "resource-leak" not in names
+
+    def test_try_finally_close_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.store.reader import TraceReader
+
+
+            def load(path):
+                reader = TraceReader(path)
+                try:
+                    return reader.read()
+                finally:
+                    reader.close()
+            """,
+            rel=self.STORE,
+        )
+        assert "resource-leak" not in names
+
+    def test_outside_store_package_not_tracked(self, linter):
+        # The rule's scope is hardware/fleet/store; a helper script in
+        # eval handing the reader to its caller stays unflagged.
+        names = linter.rule_names(
+            """
+            from repro.store.reader import TraceReader
+
+
+            def open_for_caller(path):
+                reader = TraceReader(path)
+                return reader
+            """,
+            rel="repro/eval/snippet.py",
+        )
+        assert "resource-leak" not in names

@@ -1,0 +1,39 @@
+"""Fixtures for the trace-store battery: small traces and store files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario, simulate
+from repro.store import write_trace
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """An 8 s parked session: small enough to round-trip in every test."""
+    scenario = Scenario(
+        participant=ParticipantProfile("STORE"),
+        duration_s=8.0,
+        road="parked",
+        state="awake",
+        allow_posture_shifts=False,
+    )
+    return simulate(scenario, seed=41)
+
+
+@pytest.fixture
+def short_rst(short_trace, tmp_path):
+    """The short trace written to a ``.rst`` file."""
+    path = tmp_path / "short.rst"
+    write_trace(path, short_trace)
+    return path
+
+
+def synthetic_frames(n_frames: int, n_bins: int, seed: int, dtype=np.complex64):
+    """Deterministic complex frames for property tests."""
+    rng = np.random.default_rng(seed)
+    real = rng.normal(size=(n_frames, n_bins))
+    imag = rng.normal(size=(n_frames, n_bins))
+    return (real + 1j * imag).astype(dtype)

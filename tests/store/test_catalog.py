@@ -1,0 +1,165 @@
+"""Catalog: manifest atomicity, dedup, and the capture cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario, simulate
+from repro.store import Catalog, StoreError, scenario_key
+from repro.store.catalog import MANIFEST_NAME
+
+
+def small_scenario(seed_label="CAT"):
+    return Scenario(
+        participant=ParticipantProfile(seed_label),
+        duration_s=6.0,
+        road="parked",
+        state="awake",
+        allow_posture_shifts=False,
+    )
+
+
+class TestCatalog:
+    def test_import_and_reopen(self, short_trace, tmp_path):
+        cat = Catalog(tmp_path / "cat")
+        entry = cat.import_trace(short_trace, "lab")
+        assert entry.n_frames == short_trace.n_frames
+        assert (tmp_path / "cat" / "lab.rst").exists()
+
+        # A fresh Catalog object reads the manifest back identically.
+        reopened = Catalog(tmp_path / "cat", create=False)
+        assert reopened.names() == ["lab"]
+        assert reopened.entry("lab").content_hash == entry.content_hash
+        with reopened.open("lab") as reader:
+            assert np.array_equal(reader.frames, short_trace.frames)
+
+    def test_dedup_by_content_hash(self, short_trace, tmp_path):
+        cat = Catalog(tmp_path / "cat")
+        first = cat.import_trace(short_trace, "a")
+        second = cat.import_trace(short_trace, "b")
+        assert second is first
+        assert len(cat) == 1
+        assert not (tmp_path / "cat" / "b.rst").exists()
+
+    def test_duplicate_name_rejected(self, short_trace, tmp_path):
+        cat = Catalog(tmp_path / "cat")
+        cat.import_trace(short_trace, "x")
+        other = simulate(small_scenario(), seed=2)
+        with pytest.raises(StoreError, match="already has an entry"):
+            cat.import_trace(other, "x")
+
+    def test_manifest_rewrite_is_atomic(self, short_trace, tmp_path):
+        # The manifest is replaced via a temp file; no *.tmp survivors,
+        # and the final file is complete JSON after every mutation.
+        root = tmp_path / "cat"
+        cat = Catalog(root)
+        cat.import_trace(short_trace, "one")
+        cat.import_trace(simulate(small_scenario(), seed=5), "two")
+        cat.remove("one")
+        leftovers = [p.name for p in root.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert sorted(manifest["entries"]) == ["two"]
+
+    def test_add_registers_existing_file(self, short_trace, tmp_path):
+        from repro.store import write_trace
+
+        root = tmp_path / "cat"
+        cat = Catalog(root)
+        write_trace(root / "dropped-in.rst", short_trace)
+        entry = cat.add(root / "dropped-in.rst")
+        assert entry.name == "dropped-in"
+        assert Catalog(root, create=False).names() == ["dropped-in"]
+
+    def test_add_outside_directory_rejected(self, short_trace, tmp_path):
+        from repro.store import write_trace
+
+        cat = Catalog(tmp_path / "cat")
+        outside = tmp_path / "elsewhere.rst"
+        write_trace(outside, short_trace)
+        with pytest.raises(StoreError, match="outside the catalog"):
+            cat.add(outside)
+
+    def test_get_or_simulate_caches(self, tmp_path):
+        scenario = small_scenario()
+        calls = []
+
+        def counting_simulate(sc, seed):
+            calls.append(seed)
+            return simulate(sc, seed=seed)
+
+        cat = Catalog(tmp_path / "cache")
+        first = cat.get_or_simulate(scenario, 3, simulate_fn=counting_simulate)
+        second = cat.get_or_simulate(scenario, 3, simulate_fn=counting_simulate)
+        assert calls == [3]  # second request replayed from disk
+        assert np.array_equal(first.frames, second.frames)
+        assert first.frames.dtype == second.frames.dtype
+        assert [e.start_s for e in first.blink_events] == [
+            e.start_s for e in second.blink_events
+        ]
+
+    def test_get_or_simulate_key_discriminates(self, tmp_path):
+        scenario = small_scenario()
+        assert scenario_key(scenario, 1) != scenario_key(scenario, 2)
+        cat = Catalog(tmp_path / "cache")
+        a = cat.get_or_simulate(scenario, 1)
+        b = cat.get_or_simulate(scenario, 2)
+        assert not np.array_equal(a.frames, b.frames)
+        assert len(cat) == 2
+
+    def test_verify_reports_all_entries(self, short_trace, tmp_path):
+        cat = Catalog(tmp_path / "cat")
+        cat.import_trace(short_trace, "good")
+        reports = cat.verify()
+        assert len(reports) == 1 and reports[0].ok
+
+        # Damage the file behind the entry: verify must convict it.
+        target = cat.path("good")
+        data = bytearray(target.read_bytes())
+        data[300] ^= 0xFF
+        target.write_bytes(bytes(data))
+        reports = Catalog(tmp_path / "cat", create=False).verify()
+        assert len(reports) == 1 and not reports[0].ok
+
+    def test_verify_flags_missing_file(self, short_trace, tmp_path):
+        cat = Catalog(tmp_path / "cat")
+        cat.import_trace(short_trace, "gone")
+        cat.path("gone").unlink()
+        reports = Catalog(tmp_path / "cat", create=False).verify()
+        assert any("missing" in e for r in reports for e in r.errors)
+
+    def test_eval_battery_uses_catalog_cache(self, tmp_path, monkeypatch):
+        # evaluate_drowsy_battery with a catalog simulates each capture
+        # once; a second run is served entirely from disk.
+        import repro.eval.runner as runner_mod
+        from repro.eval.runner import evaluate_drowsy_battery
+
+        scenario_awake = small_scenario()
+        scenario_drowsy = Scenario(
+            participant=ParticipantProfile("CAT"),
+            duration_s=6.0,
+            road="parked",
+            state="drowsy",
+            allow_posture_shifts=False,
+        )
+        calls = {"n": 0}
+        real_simulate = runner_mod.simulate
+
+        def counting(sc, seed):
+            calls["n"] += 1
+            return real_simulate(sc, seed=seed)
+
+        monkeypatch.setattr(runner_mod, "simulate", counting)
+        cat = Catalog(tmp_path / "battery")
+        kwargs = dict(
+            train_seeds=[1], test_seeds=[2], window_s=3.0, catalog=cat
+        )
+        first = evaluate_drowsy_battery(scenario_awake, scenario_drowsy, **kwargs)
+        n_first = calls["n"]
+        second = evaluate_drowsy_battery(scenario_awake, scenario_drowsy, **kwargs)
+        assert calls["n"] == n_first  # all captures replayed, none re-simulated
+        assert first == second

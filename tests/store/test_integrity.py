@@ -1,0 +1,163 @@
+"""Integrity: corruption is caught, crashes are recoverable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    StoreFormatError,
+    StoreIntegrityError,
+    TraceReader,
+    TraceWriter,
+)
+from repro.store.format import BLOCK_HEADER_SIZE, HEADER_SIZE
+
+from .conftest import synthetic_frames
+
+
+def write_chunked(path, frames, chunk_frames=64):
+    with TraceWriter(
+        path, n_bins=frames.shape[1], frame_rate_hz=25.0, chunk_frames=chunk_frames
+    ) as writer:
+        writer.append_batch(frames)
+
+
+def flip_byte(path, offset):
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestCorruption:
+    def test_corrupted_chunk_caught_by_verify_and_raises_on_read(self, tmp_path):
+        # The acceptance fixture: one flipped payload byte in the second
+        # chunk. verify() localises it; reading that chunk raises; the
+        # undamaged chunks still read cleanly.
+        frames = synthetic_frames(200, 8, seed=11)
+        path = tmp_path / "c.rst"
+        write_chunked(path, frames, chunk_frames=64)
+        # Chunk payloads start after the 64 B header + 24 B block header;
+        # chunk 1 begins one padded chunk (64*(8+8*8) payload) later.
+        chunk0_payload = 64 * (8 + 8 * 8)
+        chunk1_payload_start = (
+            HEADER_SIZE + BLOCK_HEADER_SIZE + chunk0_payload + BLOCK_HEADER_SIZE
+        )
+        flip_byte(path, chunk1_payload_start + 100)
+
+        with TraceReader(path) as reader:
+            report = reader.verify()
+            assert not report.ok
+            assert any("chunk 1" in e for e in report.errors)
+            assert not any("chunk 0" in e for e in report.errors)
+            # Undamaged chunk reads fine ...
+            assert np.array_equal(reader.read(0, 64), frames[:64])
+            # ... the damaged one refuses to hand out bytes.
+            with pytest.raises(StoreIntegrityError):
+                reader.read(64, 128)
+
+    def test_corrupted_block_header_detected(self, tmp_path):
+        frames = synthetic_frames(50, 8, seed=12)
+        path = tmp_path / "h.rst"
+        write_chunked(path, frames)
+        flip_byte(path, HEADER_SIZE + 2)  # inside the first block header
+        with pytest.raises((StoreIntegrityError, StoreFormatError)):
+            with TraceReader(path) as reader:
+                reader.read()
+
+    def test_corrupted_file_header_detected(self, tmp_path):
+        frames = synthetic_frames(10, 4, seed=13)
+        path = tmp_path / "f.rst"
+        write_chunked(path, frames)
+        flip_byte(path, 20)  # inside the header body, after the magic
+        with pytest.raises(StoreIntegrityError):
+            TraceReader(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        frames = synthetic_frames(100, 8, seed=14)
+        path = tmp_path / "t.rst"
+        write_chunked(path, frames)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 200])
+        with pytest.raises(StoreFormatError):
+            TraceReader(path)
+
+    def test_content_hash_mismatch_reported(self, tmp_path, monkeypatch):
+        # Swap two whole chunks: every per-chunk CRC still passes, only
+        # the whole-file content hash (and chunk ordering) can convict.
+        frames = synthetic_frames(128, 8, seed=15)
+        path = tmp_path / "s.rst"
+        write_chunked(path, frames, chunk_frames=64)
+        data = bytearray(path.read_bytes())
+        chunk_bytes = BLOCK_HEADER_SIZE + 64 * (8 + 8 * 8)
+        first = bytes(data[HEADER_SIZE : HEADER_SIZE + chunk_bytes])
+        second_start = HEADER_SIZE + chunk_bytes
+        second = bytes(data[second_start : second_start + chunk_bytes])
+        data[HEADER_SIZE : HEADER_SIZE + chunk_bytes] = second
+        data[second_start : second_start + chunk_bytes] = first
+        path.write_bytes(bytes(data))
+        with TraceReader(path) as reader:
+            report = reader.verify()
+            assert any("content hash" in e for e in report.errors)
+
+
+class TestCrashRecovery:
+    def test_unfinalized_needs_recover(self, tmp_path):
+        frames = synthetic_frames(150, 8, seed=16)
+        path = tmp_path / "u.rst"
+        writer = TraceWriter(path, n_bins=8, frame_rate_hz=25.0, chunk_frames=64)
+        writer.append_batch(frames)
+        writer.close(finalize=False)
+
+        with pytest.raises(StoreFormatError, match="never finalized"):
+            TraceReader(path)
+        with TraceReader(path, recover=True) as reader:
+            assert reader.recovered
+            assert np.array_equal(reader.frames, frames)
+
+    def test_hard_truncation_keeps_complete_chunks(self, tmp_path):
+        # Simulate a power cut mid-chunk: everything before the torn
+        # block survives recovery.
+        frames = synthetic_frames(192, 8, seed=17)
+        path = tmp_path / "k.rst"
+        writer = TraceWriter(path, n_bins=8, frame_rate_hz=25.0, chunk_frames=64)
+        writer.append_batch(frames)
+        writer.close(finalize=False)
+        chunk_bytes = BLOCK_HEADER_SIZE + 64 * (8 + 8 * 8)
+        keep = HEADER_SIZE + 2 * chunk_bytes + 37  # tears the third chunk
+        path.write_bytes(path.read_bytes()[:keep])
+
+        with TraceReader(path, recover=True) as reader:
+            assert reader.n_frames == 128
+            assert np.array_equal(reader.frames, frames[:128])
+
+    def test_writer_abort_on_exception_leaves_crash_shape(self, tmp_path):
+        frames = synthetic_frames(80, 8, seed=18)
+        path = tmp_path / "a.rst"
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceWriter(path, n_bins=8, frame_rate_hz=25.0, chunk_frames=32) as writer:
+                writer.append_batch(frames)
+                raise RuntimeError("boom")
+        with pytest.raises(StoreFormatError):
+            TraceReader(path)
+        with TraceReader(path, recover=True) as reader:
+            assert np.array_equal(reader.frames, frames)
+
+    def test_recovered_file_content_hash_recomputed(self, tmp_path):
+        frames = synthetic_frames(64, 8, seed=19)
+        final = tmp_path / "fin.rst"
+        crashed = tmp_path / "crash.rst"
+        write_chunked(final, frames, chunk_frames=64)
+        writer = TraceWriter(crashed, n_bins=8, frame_rate_hz=25.0, chunk_frames=64)
+        writer.append_batch(frames)
+        writer.close(finalize=False)
+        with TraceReader(final) as a, TraceReader(crashed, recover=True) as b:
+            assert a.content_hash() == b.content_hash()
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = TraceWriter(tmp_path / "c.rst", n_bins=4, frame_rate_hz=25.0)
+        writer.close()
+        from repro.store import StoreError
+
+        with pytest.raises(StoreError):
+            writer.append(np.zeros(4, dtype=np.complex64))

@@ -1,0 +1,100 @@
+"""``python -m repro store`` subcommands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.store import Catalog, TraceReader
+
+
+class TestStoreParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_record_defaults(self):
+        args = build_parser().parse_args(["store", "record", "-o", "x.rst"])
+        assert args.store_command == "record"
+        assert args.road == "smooth_highway"
+        assert args.from_trace is None
+
+    def test_verify_takes_many_paths(self):
+        args = build_parser().parse_args(["store", "verify", "a.rst", "b.rst", "dir"])
+        assert args.paths == ["a.rst", "b.rst", "dir"]
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def recorded(self, tmp_path, capsys):
+        out = tmp_path / "drive.rst"
+        rc = main([
+            "store", "record", "--road", "parked", "--duration", "8",
+            "--seed", "6", "-o", str(out),
+        ])
+        assert rc == 0 and out.exists()
+        capsys.readouterr()
+        return out
+
+    def test_record_then_info(self, recorded, capsys):
+        rc = main(["store", "info", str(recorded)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "format version" in out and "meta.road" in out
+
+    def test_record_then_verify_ok(self, recorded, capsys):
+        rc = main(["store", "verify", str(recorded)])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_convicts_damage(self, recorded, capsys):
+        data = bytearray(recorded.read_bytes())
+        data[400] ^= 0xFF
+        recorded.write_bytes(bytes(data))
+        rc = main(["store", "verify", str(recorded)])
+        assert rc == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_replay_scores_recording(self, recorded, capsys):
+        rc = main(["store", "replay", str(recorded)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_record_from_trace_conversion(self, tmp_path, capsys):
+        npz = tmp_path / "t.npz"
+        main(["simulate", "--duration", "8", "--road", "parked",
+              "--seed", "6", "-o", str(npz)])
+        capsys.readouterr()
+        rst = tmp_path / "t.rst"
+        rc = main(["store", "record", "--from-trace", str(npz), "-o", str(rst)])
+        assert rc == 0
+        from repro.sim.trace import RadarTrace
+
+        original = RadarTrace.load(npz)
+        with TraceReader(rst) as reader:
+            assert np.array_equal(reader.frames, original.frames)
+
+    def test_ls_lists_catalog(self, recorded, tmp_path, capsys):
+        root = tmp_path / "cat"
+        root.mkdir()
+        target = root / recorded.name
+        target.write_bytes(recorded.read_bytes())
+        Catalog(root).add(target)
+        capsys.readouterr()
+        rc = main(["store", "ls", str(root)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drive" in out and "1 entries" in out
+
+    def test_verify_walks_catalog_directory(self, recorded, tmp_path, capsys):
+        root = tmp_path / "cat"
+        root.mkdir()
+        target = root / recorded.name
+        target.write_bytes(recorded.read_bytes())
+        Catalog(root).add(target)
+        capsys.readouterr()
+        rc = main(["store", "verify", str(root)])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
