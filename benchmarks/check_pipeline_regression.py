@@ -1,0 +1,79 @@
+"""Perf-regression gate for the core pipeline (run by CI).
+
+Compares the freshly measured ``BENCH_pipeline.json`` against the
+committed ``BENCH_pipeline_baseline.json`` and fails (exit 1) when
+frames/s-per-core at S=64 regressed by more than ``TOLERANCE``.
+
+The 15% tolerance absorbs run-to-run noise on shared CI hosts (the
+benchmark already reports best-of-N to shave the noise floor); a real
+regression from a hot-path change — a stray per-frame allocation, a
+de-fused kernel — costs well over 15%. The baseline is refreshed in the
+same PR whenever a deliberate perf change or a benchmark-host change
+moves the number; ``host`` metadata in both files records where each
+measurement came from, and the gate warns when they differ.
+
+Usage::
+
+    python benchmarks/check_pipeline_regression.py [candidate] [baseline]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Maximum tolerated frames/s-per-core drop at S=64 (fraction).
+TOLERANCE = 0.15
+GATED_SESSIONS = 64
+
+HERE = Path(__file__).parent
+
+
+def fps_at(bench: dict, sessions: int, path: Path) -> float:
+    for row in bench["throughput"]:
+        if row["sessions"] == sessions:
+            return float(row["fps_per_core"])
+    raise SystemExit(f"{path}: no throughput entry for S={sessions}")
+
+
+def main(argv: list[str]) -> int:
+    candidate_path = Path(argv[1]) if len(argv) > 1 else HERE / "BENCH_pipeline.json"
+    baseline_path = (
+        Path(argv[2]) if len(argv) > 2 else HERE / "BENCH_pipeline_baseline.json"
+    )
+    candidate = json.loads(candidate_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    new = fps_at(candidate, GATED_SESSIONS, candidate_path)
+    old = fps_at(baseline, GATED_SESSIONS, baseline_path)
+    floor = (1.0 - TOLERANCE) * old
+    ratio = new / old
+
+    if candidate.get("host") != baseline.get("host"):
+        print(
+            "warning: candidate and baseline were measured on different hosts\n"
+            f"  candidate: {candidate.get('host')}\n"
+            f"  baseline : {baseline.get('host')}\n"
+            "  absolute fps is host-dependent; refresh the baseline when the "
+            "benchmark host changes."
+        )
+
+    print(
+        f"frames/s per core at S={GATED_SESSIONS}: "
+        f"candidate {new:.0f} vs baseline {old:.0f} "
+        f"({ratio:.2%}, floor {floor:.0f} at {TOLERANCE:.0%} tolerance)"
+    )
+    if new < floor:
+        print(
+            f"FAIL: pipeline throughput regressed more than {TOLERANCE:.0%} — "
+            "either fix the hot path or, for a deliberate trade-off, refresh "
+            "benchmarks/BENCH_pipeline_baseline.json in this PR and justify it."
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

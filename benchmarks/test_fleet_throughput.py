@@ -22,7 +22,6 @@ import pytest
 from conftest import base_scenario, print_block
 from repro.eval.report import format_table
 from repro.fleet import FleetService
-from repro.sim import simulate
 
 BENCH_PATH = Path(__file__).parent / "BENCH_fleet.json"
 FLEET_SIZES = [1, 4, 16]
@@ -31,8 +30,12 @@ FRAME_RATE_HZ = 25.0
 
 
 @pytest.fixture(scope="module")
-def shared_trace():
-    return simulate(base_scenario(duration_s=10.0, road="smooth_highway"), seed=55)
+def shared_trace(trace_catalog):
+    # Through the store catalog: recorded once as .rst, replayed
+    # bit-for-bit on every later run, so the benchmark input is frozen.
+    return trace_catalog.get_or_simulate(
+        base_scenario(duration_s=10.0, road="smooth_highway"), seed=55
+    )
 
 
 def run_fleet(trace, n_sessions: int) -> dict:

@@ -1,0 +1,264 @@
+"""Core-pipeline hot path — the compute budget, as a tracked artifact.
+
+Not a paper figure: this benchmark publishes the numbers the
+embedded-systems literature expects of a deployable detector (see
+PAPERS.md, "Embedded System Performance Analysis for a Portable
+Drowsiness Detection System"): per-stage cost in ms/frame, frames/s per
+core at fleet scales S ∈ {1, 16, 64, 256}, and peak working memory per
+session. Results land in ``BENCH_pipeline.json`` with host metadata so
+trajectories are comparable across machines, and CI gates the S=64
+frames/s-per-core figure against the committed baseline copy
+(``BENCH_pipeline_baseline.json``, >15% regression fails the build).
+
+Inputs come from the store catalog: a small pool of recorded ``.rst``
+captures is tiled round-robin across the S sessions (every session gets
+its own detector; the fleet sizes share the frozen frame pool), so the
+workload is bit-reproducible across runs and machines.
+
+``benchmarks/.seed_scalar_baseline.txt`` pins the pre-batching scalar
+path's throughput on this host; the batched pipeline must hold a ≥3×
+margin over it here (the recorded JSON shows the full ≥5× figure — the
+assert leaves headroom for noisy CI neighbours).
+"""
+
+import json
+import platform
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from conftest import base_scenario, print_block, timed_fps
+from repro.core.batched import BatchedPipeline
+from repro.core.levd import LocalExtremeValueDetector
+from repro.core.realtime import RealTimeBlinkDetector
+from repro.core.viewpos import ViewingPositionTracker
+from repro.eval.report import format_table
+
+BENCH_PATH = Path(__file__).parent / "BENCH_pipeline.json"
+SEED_BASELINE_PATH = Path(__file__).parent / ".seed_scalar_baseline.txt"
+FRAME_RATE_HZ = 25.0
+FLEET_SIZES = [1, 16, 64, 256]
+#: Distinct recorded captures tiled across the fleet sizes.
+POOL_SEEDS = [201, 202, 203, 204]
+CAPTURE_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def capture_pool(trace_catalog):
+    return [
+        trace_catalog.get_or_simulate(base_scenario(duration_s=CAPTURE_S), seed=seed)
+        for seed in POOL_SEEDS
+    ]
+
+
+def seed_scalar_fps() -> float:
+    text = SEED_BASELINE_PATH.read_text()
+    for token in text.split():
+        if token.startswith("seed_scalar_fps_per_core="):
+            return float(token.split("=", 1)[1])
+    raise ValueError(f"no seed_scalar_fps_per_core= entry in {SEED_BASELINE_PATH}")
+
+
+def stage_timings_ms(trace) -> dict:
+    """Per-stage ms/frame over one capture, each stage fed real data.
+
+    Stages follow the paper's pipeline order: fast-time cascading filter,
+    slow-time clutter removal (smoothing + background subtraction), range
+    -bin selection, IQ arc fit, LEVD scoring. Stateful stages get a fresh
+    instance per timed repeat so no repeat starts warm.
+    """
+    frames = trace.frames
+    n = frames.shape[0]
+    detector = RealTimeBlinkDetector(FRAME_RATE_HZ)
+    config = detector.config
+
+    # filter: the fused fast-time cascade over the whole block.
+    filter_s, _ = timed_fps(
+        lambda: detector.preprocessor.denoise_block(frames),
+        n,
+        warmup=lambda: detector.preprocessor.denoise_block(frames[:50]),
+    )
+    denoised = detector.preprocessor.denoise_block(frames)
+
+    # clutter: per-frame slow-time smoothing + loopback background.
+    def run_clutter():
+        pre = RealTimeBlinkDetector(FRAME_RATE_HZ).preprocessor
+        for row in denoised:
+            pre.push_denoised(row)
+
+    clutter_s, _ = timed_fps(run_clutter, n)
+
+    # Drive a real detector to steady state for the remaining stages'
+    # inputs: the processed window, the selected bin and the r series.
+    statuses = detector.process_block(frames)
+    window = detector._rolling.last(config.bin_reselect_window).copy()
+    eye_bin = detector._selected_bin
+    if eye_bin is None:  # never true on the catalog captures
+        raise RuntimeError("capture ended cold; pick a longer capture")
+
+    # binselect: one reselection, amortised over its reselect interval.
+    select_s, _ = timed_fps(lambda: detector._select_bin(window), 1, repeats=5)
+    binselect_per_frame_s = select_s / config.bin_reselect_interval
+
+    # arcfit: track the viewing position over the selected bin's samples.
+    pre = RealTimeBlinkDetector(FRAME_RATE_HZ).preprocessor
+    samples = [complex(pre.push_denoised(row)[eye_bin]) for row in denoised]
+
+    def run_arcfit():
+        tracker = ViewingPositionTracker(
+            window=config.viewpos_window,
+            min_samples=config.viewpos_min_samples,
+            update_interval=config.viewpos_update_interval,
+        )
+        for sample in samples:
+            tracker.push(sample)
+
+    arcfit_s, _ = timed_fps(run_arcfit, n)
+
+    # levd: score the r(k) series the detector actually produced.
+    r_series = [
+        s.relative_distance for s in statuses if np.isfinite(s.relative_distance)
+    ]
+
+    def run_levd():
+        levd = LocalExtremeValueDetector(FRAME_RATE_HZ, config.levd)
+        for r in r_series:
+            levd.push(r)
+        levd.finish()
+
+    levd_s, _ = timed_fps(run_levd, len(r_series))
+
+    return {
+        "filter": 1e3 * filter_s / n,
+        "clutter": 1e3 * clutter_s / n,
+        "binselect": 1e3 * binselect_per_frame_s,
+        "arcfit": 1e3 * arcfit_s / n,
+        "levd": 1e3 * levd_s / len(r_series),
+    }
+
+
+def fleet_blocks(capture_pool, n_sessions: int) -> np.ndarray:
+    frames = [t.frames for t in capture_pool]
+    return np.stack([frames[k % len(frames)] for k in range(n_sessions)])
+
+
+def throughput_at(capture_pool, n_sessions: int, repeats: int) -> dict:
+    blocks = fleet_blocks(capture_pool, n_sessions)
+    n_frames = int(blocks.shape[0] * blocks.shape[1])
+
+    def run():
+        pipeline = BatchedPipeline(FRAME_RATE_HZ, n_sessions=n_sessions)
+        pipeline.process_block(blocks)
+        pipeline.finish()
+
+    best_s, fps = timed_fps(
+        run,
+        n_frames,
+        warmup=lambda: BatchedPipeline(FRAME_RATE_HZ).process_block(blocks[:1, :80]),
+        repeats=repeats,
+    )
+    return {
+        "sessions": n_sessions,
+        "frames": n_frames,
+        "best_s": round(best_s, 4),
+        # Single-threaded numpy: one pipeline occupies one core, so
+        # frames/s IS frames/s-per-core.
+        "fps_per_core": round(fps, 1),
+    }
+
+
+def peak_memory_per_session(capture_pool, n_sessions: int = 16) -> int:
+    """Peak tracemalloc bytes per session for a full batched run."""
+    blocks = fleet_blocks(capture_pool, n_sessions)
+    pipeline = BatchedPipeline(FRAME_RATE_HZ, n_sessions=n_sessions)
+    tracemalloc.start()
+    pipeline.process_block(blocks)
+    pipeline.finish()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak // n_sessions)
+
+
+def host_metadata() -> dict:
+    cpu_model = platform.processor() or ""
+    cpuinfo = Path("/proc/cpuinfo")
+    if cpuinfo.exists():
+        for line in cpuinfo.read_text().splitlines():
+            if line.lower().startswith("model name"):
+                cpu_model = line.split(":", 1)[1].strip()
+                break
+    import os
+
+    return {
+        "cpu": cpu_model,
+        "cores": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+@pytest.mark.slow
+def test_pipeline_hotpath(capture_pool):
+    stages = stage_timings_ms(capture_pool[0])
+    # S=64 is the CI-gated figure: extra repeats shrink the noise floor
+    # (best-of-N, so more repeats only tighten the estimate).
+    results = [
+        throughput_at(capture_pool, s, repeats=2 if s >= 256 else 5)
+        for s in FLEET_SIZES
+    ]
+    mem_per_session = peak_memory_per_session(capture_pool)
+    baseline_fps = seed_scalar_fps()
+    at_64 = next(r for r in results if r["sessions"] == 64)
+    speedup = at_64["fps_per_core"] / baseline_fps
+
+    print_block(
+        format_table(
+            "Pipeline hot path: per-stage cost",
+            ["stage", "ms/frame"],
+            [[name, f"{ms:.4f}"] for name, ms in stages.items()],
+        )
+    )
+    print_block(
+        format_table(
+            "Pipeline hot path: batched throughput",
+            ["sessions", "frames", "best s", "frames/s per core", "vs seed scalar"],
+            [
+                [
+                    r["sessions"],
+                    r["frames"],
+                    f"{r['best_s']:.2f}",
+                    f"{r['fps_per_core']:.0f}",
+                    f"{r['fps_per_core'] / baseline_fps:.2f}x",
+                ]
+                for r in results
+            ],
+        )
+    )
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "host": host_metadata(),
+                "frame_rate_hz": FRAME_RATE_HZ,
+                "capture_s": CAPTURE_S,
+                "stages_ms_per_frame": {k: round(v, 5) for k, v in stages.items()},
+                "throughput": results,
+                "peak_memory_per_session_bytes": mem_per_session,
+                "seed_scalar_fps_per_core": baseline_fps,
+                "speedup_vs_seed_at_s64": round(speedup, 2),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Shape assertions: every stage was actually exercised, the batched
+    # path beats the pre-batching scalar baseline with a wide margin
+    # (the JSON records the full figure; 3x leaves room for CI noise),
+    # and a session's working set stays within tens of MB.
+    assert all(ms > 0 for ms in stages.values())
+    assert speedup >= 3.0
+    assert mem_per_session < 64 * 1024 * 1024

@@ -15,6 +15,12 @@ Implementation notes (documented deviations in DESIGN.md Sec. 5):
   fall). Pairs whose apexes fall within a merge window are fused into one
   event, timestamped at the most deviant extremum.
 
+The trailing windows (detrend median, σ quantile, baseline median) are
+kept in :class:`repro.dsp.stats.SortedWindow` instances, so every push is
+an O(window) ``memmove`` and every order statistic reads straight off the
+sorted list — bit-for-bit the values ``np.median``/``np.quantile`` gave
+the seed implementation, without a fresh sort per frame.
+
 Both an offline function (:func:`detect_blinks`) and a streaming class
 (:class:`LocalExtremeValueDetector`) are provided; the streaming class is
 what the real-time detector embeds, and the offline function is defined to
@@ -28,7 +34,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dsp.stats import SortedWindow
+
 __all__ = ["BlinkDetection", "LevdConfig", "LocalExtremeValueDetector", "detect_blinks"]
+
+
+#: Cache of Φ⁻¹((1+q)/2) per quantile q. scipy is imported lazily on the
+#: first σ evaluation (keeping module import light), but only once — the
+#: seed re-imported it inside every σ recompute, which showed up as a
+#: constant-overhead stripe across the hot-path profile.
+_PPF_DIVISORS: dict[float, float] = {}
+
+
+def _gaussian_quantile_divisor(q: float) -> float:
+    """Φ⁻¹((1+q)/2): scales the q-quantile of |x| into a Gaussian σ."""
+    divisor = _PPF_DIVISORS.get(q)
+    if divisor is None:
+        from scipy.stats import norm
+
+        divisor = float(norm.ppf((1.0 + q) / 2.0))
+        _PPF_DIVISORS[q] = divisor
+    return divisor
 
 
 @dataclass(frozen=True)
@@ -135,9 +161,12 @@ class LocalExtremeValueDetector:
         self.frame_rate_hz = frame_rate_hz
         self.config = config if config is not None else LevdConfig()
         window_frames = max(8, int(round(self.config.sigma_window_s * frame_rate_hz)))
-        self._sigma_buffer: deque[float] = deque(maxlen=window_frames)
-        self._baseline_buffer: deque[float] = deque(maxlen=window_frames)
-        self._detrend_buffer: deque[float] = deque(
+        # σ buffer holds |detrended| directly: σ only ever reads the
+        # quantile of the absolute values, so the absolute value is taken
+        # once at insertion instead of over the whole window per frame.
+        self._sigma_buffer = SortedWindow(maxlen=window_frames)
+        self._baseline_buffer = SortedWindow(maxlen=window_frames)
+        self._detrend_buffer = SortedWindow(
             maxlen=max(3, int(round(self.config.detrend_window_s * frame_rate_hz)))
         )
         self._sigma_cache: float | None = None
@@ -148,6 +177,10 @@ class LocalExtremeValueDetector:
         self._last_emit_index: int | None = None
         self._discontinuities: deque[int] = deque(maxlen=8)
         self._index = -1
+        # Frame-count constants used on every sample.
+        self._merge_frames = self._frames(self.config.merge_window_s)
+        self._refractory_frames = self._frames(self.config.refractory_s)
+        self._max_gap_frames = self._frames(self.config.max_pair_gap_s)
 
     def reset(self) -> None:
         """Drop all state (detector restart)."""
@@ -181,9 +214,9 @@ class LocalExtremeValueDetector:
     @property
     def baseline(self) -> float | None:
         """Median of the trailing r(k) window (None until samples exist)."""
-        if not self._baseline_buffer:
+        if not len(self._baseline_buffer):
             return None
-        return float(np.median(np.array(self._baseline_buffer)))
+        return self._baseline_buffer.median()
 
     def is_outlier(self, value: float, sigmas: float = 4.0) -> bool:
         """True when ``value`` deviates from the recent baseline by > sigmas·σ.
@@ -205,8 +238,8 @@ class LocalExtremeValueDetector:
         "without blinking" — but always enter the detrend and baseline
         buffers, whose medians are robust to them.
         """
-        self._detrend_buffer.append(value)
-        detrended = value - float(np.median(np.array(self._detrend_buffer)))
+        self._detrend_buffer.push(value)
+        detrended = value - self._detrend_buffer.median()
         sigma = self.sigma
         exclude = sigma > 0 and abs(detrended) > 6.0 * sigma
         # Escape hatch: if the environment genuinely got noisier (road
@@ -218,9 +251,9 @@ class LocalExtremeValueDetector:
                 exclude = False
         if not exclude:
             self._excluded_run = 0
-            self._sigma_buffer.append(detrended)
+            self._sigma_buffer.push(abs(detrended))
             self._sigma_cache = None
-        self._baseline_buffer.append(value)
+        self._baseline_buffer.push(value)
 
     def seed_sigma(self, values: np.ndarray) -> None:
         """Pre-fill the σ window (e.g. with cold-start r(k) history)."""
@@ -240,13 +273,9 @@ class LocalExtremeValueDetector:
         if len(self._sigma_buffer) < 8:
             return 0.0
         if self._sigma_cache is None:
-            detrended = np.abs(np.array(self._sigma_buffer))
             q = self.config.sigma_quantile
-            from scipy.stats import norm
-
-            divisor = float(norm.ppf((1.0 + q) / 2.0))
             self._sigma_cache = max(
-                float(np.quantile(detrended, q)) / divisor,
+                self._sigma_buffer.quantile(q) / _gaussian_quantile_divisor(q),
                 self.config.min_sigma,
             )
         return self._sigma_cache
@@ -272,14 +301,12 @@ class LocalExtremeValueDetector:
         """Emit the pending event once the merge window has elapsed."""
         if self._pending is None:
             return None
-        if not force and now_index - self._pending.frame_index < self._frames(
-            self.config.merge_window_s
-        ):
+        if not force and now_index - self._pending.frame_index < self._merge_frames:
             return None
         event = self._pending
         self._pending = None
         if self._last_emit_index is not None and (
-            event.frame_index - self._last_emit_index < self._frames(self.config.refractory_s)
+            event.frame_index - self._last_emit_index < self._refractory_frames
         ):
             return None
         self._last_emit_index = event.frame_index
@@ -292,7 +319,7 @@ class LocalExtremeValueDetector:
         threshold = self.threshold
         if threshold <= 0:
             return
-        if cur[0] - prev[0] > self._frames(self.config.max_pair_gap_s):
+        if cur[0] - prev[0] > self._max_gap_frames:
             return  # not "nearby": slow drift, not a blink bump
         if any(prev[0] - 1 <= d <= cur[0] + 1 for d in self._discontinuities):
             return  # pair straddles a viewing-position update artefact
@@ -300,9 +327,7 @@ class LocalExtremeValueDetector:
         if diff <= threshold:
             return
         # Apex of the bump: the extremum farther from the recent baseline.
-        baseline = (
-            float(np.median(np.array(self._baseline_buffer))) if self._baseline_buffer else 0.0
-        )
+        baseline = self._baseline_buffer.median() if len(self._baseline_buffer) else 0.0
         apex = max((prev, cur), key=lambda e: abs(e[1] - baseline))
         if abs(apex[1] - baseline) < self.config.apex_min_fraction * threshold:
             return
@@ -313,9 +338,7 @@ class LocalExtremeValueDetector:
         )
         if self._pending is None:
             self._pending = candidate
-        elif candidate.frame_index - self._pending.frame_index <= self._frames(
-            self.config.merge_window_s
-        ):
+        elif candidate.frame_index - self._pending.frame_index <= self._merge_frames:
             # Same bump: keep the more prominent description.
             if candidate.prominence > self._pending.prominence:
                 self._pending = BlinkDetection(

@@ -99,23 +99,25 @@ class BlinkRadar:
     def detect(self, frames: np.ndarray) -> BlinkRadarResult:
         """Run the full pipeline over a recorded capture.
 
-        Implemented as a strict replay of the streaming detector, so
-        offline and online behaviour cannot diverge.
+        Implemented as one :meth:`RealTimeBlinkDetector.process_block`
+        call over the whole capture — the streaming walk itself, with its
+        per-frame kernels fused over the block — so offline and online
+        behaviour cannot diverge.
         """
         frames = np.asarray(frames)
         if frames.ndim != 2:
             raise ValueError(f"expected (n_frames, n_bins), got {frames.shape}")
         detector = self._fresh_detector()
+        statuses = detector.process_block(frames)
+        detector.finish()
         r = np.empty(frames.shape[0])
         bins = np.empty(frames.shape[0], dtype=int)
         restarts: list[float] = []
-        for k in range(frames.shape[0]):
-            status = detector.process_frame(frames[k])
+        for k, status in enumerate(statuses):
             r[k] = status.relative_distance
             bins[k] = status.selected_bin
             if status.restarted:
                 restarts.append(k / self.frame_rate_hz)
-        detector.finish()
         return BlinkRadarResult(
             events=list(detector.events),
             relative_distance=r,

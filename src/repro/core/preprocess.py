@@ -19,10 +19,13 @@ Two stages, exactly as the paper orders them:
 A light slow-time smoother (3 frames) is applied between the stages: at
 25 FPS it only removes above-4 Hz hash, far faster than any blink edge.
 
-Both a vectorised offline path (:meth:`Preprocessor.apply`) and a
-frame-at-a-time streaming path (:meth:`Preprocessor.push`) are provided;
-the streaming path uses causal smoothing and is what the real-time
-detector runs on.
+There is exactly one implementation, the block path
+(:meth:`Preprocessor.push_block`): the fast-time cascade runs as fused
+row convolutions over the whole block and the causal slow-time smoother
+as shifted row adds. The per-frame streaming call (:meth:`Preprocessor.push`)
+and the offline call (:meth:`Preprocessor.apply`) are thin wrappers over
+it, so streaming and offline behaviour are bit-for-bit identical by
+construction.
 """
 
 from __future__ import annotations
@@ -106,6 +109,37 @@ class Preprocessor:
             raise ValueError(f"denoise_frame expects one frame, got shape {frame.shape}")
         return self._cascade.apply(frame, axis=-1)
 
+    def denoise_block(self, frames: np.ndarray) -> np.ndarray:
+        """Fast-time cascade over a (n_frames, n_bins) block (stateless).
+
+        Each row is filtered independently; the whole block costs two
+        fused convolutions regardless of how many frames it holds.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"denoise_block expects (n_frames, n_bins), got {frames.shape}")
+        return self._cascade.apply(frames, axis=1)
+
+    def push_denoised(self, denoised: np.ndarray) -> np.ndarray:
+        """Finish :meth:`push` for one row already through the cascade.
+
+        The streaming detector precomputes the fast-time cascade for a
+        whole block (restarts never touch it — it is stateless per frame)
+        and feeds the rows through here one at a time, so the stateful
+        slow-time window can still be cut by mid-block restarts.
+        """
+        self._slow_buffer.append(denoised)
+        buffer = self._slow_buffer
+        # Sequential oldest-first accumulation: the exact evaluation order
+        # of np.mean(np.stack(buffer), axis=0), without the stack.
+        run: np.ndarray | None = None
+        for row in buffer:
+            run = row if run is None else run + row
+        smoothed = run / float(len(buffer))
+        if not self.config.subtract_background:
+            return smoothed
+        return self._loopback.push(smoothed)
+
     def push(self, frame: np.ndarray) -> np.ndarray:
         """Streaming path: preprocess one frame.
 
@@ -113,30 +147,57 @@ class Preprocessor:
         ``slow_time_window`` frames → background subtraction.
         """
         denoised = self.denoise_frame(frame)
-        self._slow_buffer.append(denoised)
-        smoothed = np.mean(np.stack(self._slow_buffer), axis=0)
+        return self.push_denoised(denoised)
+
+    def push_block(self, frames: np.ndarray) -> np.ndarray:
+        """Preprocess a whole (n_frames, n_bins) block, statefully.
+
+        Bit-identical to calling :meth:`push` frame by frame — the
+        slow-time smoother warm-starts from the current buffer state and
+        leaves it as a frame-by-frame run would — but the cascade and the
+        smoother each run as a handful of whole-block numpy ops.
+        """
+        frames = np.asarray(frames)
+        if frames.ndim != 2:
+            raise ValueError(f"push_block expects (n_frames, n_bins), got {frames.shape}")
+        denoised = self.denoise_block(frames)
+        smoothed = self._smooth_block(denoised)
         if not self.config.subtract_background:
             return smoothed
-        return self._loopback.push(smoothed)
+        return self._loopback.apply(smoothed)
+
+    def _smooth_block(self, denoised: np.ndarray) -> np.ndarray:
+        """Causal slow-time moving average, warm-started from the buffer.
+
+        Row ``t`` averages the trailing ``min(window, seen)`` denoised
+        frames, oldest first — the same operand order, same divisor, same
+        result bits as the per-frame deque accumulation in
+        :meth:`push_denoised`.
+        """
+        window = self.config.slow_time_window
+        prior = list(self._slow_buffer)
+        ext = np.concatenate([np.stack(prior), denoised]) if prior else denoised
+        n = ext.shape[0]
+        out = np.empty_like(ext)
+        # Warm-up rows (fewer than `window` frames seen): growing prefix.
+        # When the buffer is already full these rows are sliced off below.
+        run: np.ndarray | None = None
+        for t in range(min(window - 1, n)):
+            run = ext[t] if run is None else run + ext[t]
+            out[t] = run / float(t + 1)
+        if n >= window:
+            acc = ext[: n - window + 1].copy()
+            for j in range(1, window):
+                acc += ext[j : n - window + 1 + j]
+            out[window - 1 :] = acc / float(window)
+        for row in denoised[-window:]:
+            self._slow_buffer.append(row)
+        return out[len(prior) :]
 
     def apply(self, frames: np.ndarray) -> np.ndarray:
         """Offline path: preprocess a whole (n_frames, n_bins) matrix.
 
-        Bit-identical to calling :meth:`push` frame by frame on a fresh
-        instance (causal slow-time smoothing, sequential loopback).
+        An alias of :meth:`push_block` — the offline path *is* the
+        streaming path, bit for bit, including state carried across calls.
         """
-        frames = np.asarray(frames)
-        if frames.ndim != 2:
-            raise ValueError(f"apply expects (n_frames, n_bins), got {frames.shape}")
-        denoised = self._cascade.apply(frames, axis=1)
-        # Causal slow-time moving average with a growing warm-up window.
-        window = self.config.slow_time_window
-        smoothed = np.empty_like(denoised)
-        cumsum = np.cumsum(denoised, axis=0)
-        for k in range(frames.shape[0]):
-            lo = max(0, k - window + 1)
-            total = cumsum[k] - (cumsum[lo - 1] if lo > 0 else 0)
-            smoothed[k] = total / (k - lo + 1)
-        if not self.config.subtract_background:
-            return smoothed
-        return self._loopback.apply(smoothed)
+        return self.push_block(frames)

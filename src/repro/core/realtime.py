@@ -17,11 +17,17 @@ The streaming state machine:
   change many times its running median triggers a full reset (and a new
   2 s cold start, during which blinks are necessarily missed — the main
   contributor to the paper's ~4.9 % miss rate in Fig. 15(a)).
+
+There is exactly one execution path, :meth:`RealTimeBlinkDetector.process_block`:
+the restart-independent per-frame work (the fast-time cascade, the raw
+frame-to-frame movement deltas) is computed for the whole block as fused
+numpy kernels up front, and the stateful walk — restarts, bin selection,
+arc tracking, LEVD — consumes those precomputed rows one frame at a time.
+:meth:`process_frame` is the T=1 degenerate case of the same code.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +35,9 @@ import numpy as np
 from repro.core.binselect import BinSelection, select_eye_bin
 from repro.core.levd import BlinkDetection, LevdConfig, LocalExtremeValueDetector
 from repro.core.preprocess import Preprocessor, PreprocessorConfig
+from repro.core.ringbuf import SlidingBlock
 from repro.core.viewpos import ViewingPositionTracker
+from repro.dsp.stats import SortedWindow
 
 __all__ = ["RealTimeConfig", "FrameStatus", "RealTimeBlinkDetector"]
 
@@ -163,13 +171,21 @@ class RealTimeBlinkDetector:
         self._frame_index = -1
         self._selected_bin: int | None = None
         self._last_selection: BinSelection | None = None
-        self._cold_buffer: list[np.ndarray] = []
-        self._rolling: deque[np.ndarray] = deque(
-            maxlen=max(self.config.viewpos_window, self.config.bin_reselect_window)
+        # One ring serves every trailing-frame window: the cold-start
+        # accumulator is its first `cold_start_frames` rows after a
+        # (re)start, the re-selection window its last `bin_reselect_window`
+        # rows, the viewing-position rebuild its last `viewpos_window`.
+        self._rolling = SlidingBlock(
+            max(
+                self.config.viewpos_window,
+                self.config.bin_reselect_window,
+                self.config.cold_start_frames,
+            )
         )
+        self._cold_count = 0
         self._since_reselect = 0
         self._prev_raw: np.ndarray | None = None
-        self._move_metric: deque[float] = deque(maxlen=self.config.restart_metric_window)
+        self._move_metric = SortedWindow(maxlen=self.config.restart_metric_window)
         self._off_arc_run = 0
         self.events: list[BlinkDetection] = []
         self.restart_frames: list[int] = []
@@ -190,29 +206,30 @@ class RealTimeBlinkDetector:
         self.levd.reset()
         self.viewpos.reset()
         self._selected_bin = None
-        self._cold_buffer = []
+        self._cold_count = 0
         self._rolling.clear()
         self._since_reselect = 0
         self._off_arc_run = 0
         self.restart_frames.append(self._frame_index)
 
-    def _movement_spike(self, raw_frame: np.ndarray) -> bool:
-        """Detect a significant body movement from raw frame change."""
-        if self._prev_raw is None:
-            self._prev_raw = raw_frame
+    def _movement_spike(self, delta: float | None) -> bool:
+        """Detect a significant body movement from a raw frame-change delta.
+
+        ``delta`` is the precomputed L1 profile change against the
+        previous frame (None on the very first frame of the stream).
+        """
+        if delta is None:
             return False
-        delta = float(np.sum(np.abs(raw_frame - self._prev_raw)))
-        self._prev_raw = raw_frame
         metric = self._move_metric
         spike = False
         if len(metric) >= 25:
-            median = float(np.median(np.array(metric)))
+            median = metric.median()
             if median > 0 and delta > self.config.restart_factor * median:
                 spike = True
         # A spike is excluded from the running median so one posture shift
         # does not desensitise the detector to the next one.
         if not spike:
-            metric.append(delta)
+            metric.push(delta)
         return spike
 
     def _select_bin(self, window_frames: np.ndarray) -> None:
@@ -242,21 +259,64 @@ class RealTimeBlinkDetector:
         raw_frame = np.asarray(raw_frame)
         if raw_frame.ndim != 1:
             raise ValueError(f"expected one frame (1-D), got shape {raw_frame.shape}")
+        return self.process_block(raw_frame[None, :])[0]
+
+    def process_block(
+        self, raw_block: np.ndarray, denoised: np.ndarray | None = None
+    ) -> list[FrameStatus]:
+        """Feed a (n_frames, n_bins) block; returns one status per frame.
+
+        Bit-identical to feeding the frames one at a time — the stateful
+        walk below is the only place detector state changes — but the two
+        restart-independent per-frame kernels run fused over the block
+        first: the fast-time cascade (stateless per frame, so mid-block
+        restarts cannot invalidate it) and the raw movement deltas
+        (neither the previous-frame pointer nor the metric window is
+        cleared by a restart).
+
+        ``denoised`` optionally injects precomputed cascade output for the
+        block (the batched pipeline fuses that kernel across sessions).
+        """
+        raw_block = np.asarray(raw_block)
+        if raw_block.ndim != 2:
+            raise ValueError(f"expected (n_frames, n_bins), got shape {raw_block.shape}")
+        n_frames = raw_block.shape[0]
+        if n_frames == 0:
+            return []
+        if denoised is None:
+            denoised = self.preprocessor.denoise_block(raw_block)
+
+        deltas = np.empty(n_frames)
+        if n_frames > 1:
+            deltas[1:] = np.abs(raw_block[1:] - raw_block[:-1]).sum(axis=1)
+        first_is_ever = self._prev_raw is None
+        if not first_is_ever:
+            deltas[0] = np.sum(np.abs(raw_block[0] - self._prev_raw))
+        self._prev_raw = raw_block[n_frames - 1]
+
+        statuses = []
+        for t in range(n_frames):
+            delta = None if t == 0 and first_is_ever else float(deltas[t])
+            statuses.append(self._step(denoised[t], delta))
+        return statuses
+
+    def _step(self, denoised_row: np.ndarray, delta: float | None) -> FrameStatus:
+        """Advance the stateful walk by one frame."""
         self._frame_index += 1
 
-        restarted = self._movement_spike(raw_frame)
+        restarted = self._movement_spike(delta)
         if restarted and self._selected_bin is not None:
             self._restart()
 
-        processed = self.preprocessor.push(raw_frame)
-        self._rolling.append(processed)
+        processed = self.preprocessor.push_denoised(denoised_row)
+        self._rolling.push(processed)
 
         if self._selected_bin is None:
             # Cold start: accumulate, then select and initialise.
-            self._cold_buffer.append(processed)
-            if len(self._cold_buffer) >= self.config.cold_start_frames:
-                window = np.stack(self._cold_buffer)
-                self._cold_buffer = []
+            self._cold_count += 1
+            if self._cold_count >= self.config.cold_start_frames:
+                window = self._rolling.last(self._cold_count)
+                self._cold_count = 0
                 self._select_bin(window)
                 # Seed LEVD's sigma with the cold-start r(k) history.
                 seeds = [
@@ -279,8 +339,7 @@ class RealTimeBlinkDetector:
             and len(self._rolling) >= self.config.bin_reselect_window
         ):
             self._since_reselect = 0
-            window = np.stack(list(self._rolling)[-self.config.bin_reselect_window :])
-            self._select_bin(window)
+            self._select_bin(self._rolling.last(self.config.bin_reselect_window))
 
         sample = complex(processed[self._selected_bin])
         # Every sample enters the fit buffer: the tracker's dominant-ring

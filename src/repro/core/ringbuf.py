@@ -1,0 +1,95 @@
+"""Fixed-capacity sliding windows backed by double-written ring buffers.
+
+The streaming detector keeps several trailing windows (the rolling
+preprocessed-frame history, the arc-fit sample buffer) that the seed
+implementation stored as ``collections.deque`` objects and materialized
+with ``np.stack``/``np.array`` on every use. :class:`SlidingBlock`
+replaces those with a preallocated ring of twice the capacity in which
+every row is written at ``i`` and ``i + capacity``: any trailing window
+of up to ``capacity`` entries is then a *contiguous* slice of the
+backing array, so reads are zero-copy views and steady-state operation
+performs no Python-level allocations.
+
+The values exposed are exactly the values the deque held — same dtype,
+same chronological order, same C-contiguous layout ``np.stack`` would
+have produced — so downstream numerics are bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SlidingBlock"]
+
+
+class SlidingBlock:
+    """Sliding window of equally-shaped entries with zero-copy trailing views.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries retained; older entries are overwritten.
+    row_shape:
+        Shape of one entry: ``()`` for scalars (e.g. complex I/Q samples)
+        or ``(n_bins,)`` for frames. May be deferred to the first
+        :meth:`push` by passing ``None``.
+    dtype:
+        Entry dtype; deferred alongside ``row_shape`` when ``None``.
+    """
+
+    __slots__ = ("capacity", "_buf", "_write", "_count")
+
+    def __init__(
+        self,
+        capacity: int,
+        row_shape: tuple[int, ...] | None = None,
+        dtype: np.dtype | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: np.ndarray | None = None
+        if row_shape is not None and dtype is not None:
+            self._buf = np.empty((2 * capacity, *row_shape), dtype=dtype)
+        self._write = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, row: np.ndarray | complex | float) -> None:
+        """Append one entry, evicting the oldest at capacity."""
+        buf = self._buf
+        if buf is None:
+            row = np.asarray(row)
+            buf = np.empty((2 * self.capacity, *row.shape), dtype=row.dtype)
+            self._buf = buf
+        w = self._write
+        buf[w] = row
+        buf[w + self.capacity] = row
+        self._write = w + 1 if w + 1 < self.capacity else 0
+        if self._count < self.capacity:
+            self._count += 1
+
+    def last(self, n: int) -> np.ndarray:
+        """Contiguous chronological view of the most recent ``n`` entries.
+
+        The view aliases the ring storage: it is invalidated by the next
+        :meth:`push`, so callers that keep it must copy.
+        """
+        if n > self._count:
+            raise ValueError(f"requested {n} entries, only {self._count} held")
+        if self._count < self.capacity:
+            # No wrap has happened yet: entries live at [0, count).
+            return self._buf[self._count - n : self._count]
+        end = self._write + self.capacity
+        return self._buf[end - n : end]
+
+    def view(self) -> np.ndarray:
+        """Contiguous chronological view of everything currently held."""
+        return self.last(self._count)
+
+    def clear(self) -> None:
+        """Drop all entries (storage is retained for reuse)."""
+        self._write = 0
+        self._count = 0

@@ -16,10 +16,9 @@ enough samples are accumulated").
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
+from repro.core.ringbuf import SlidingBlock
 from repro.dsp.circlefit import CircleFit, fit_circle_dominant
 
 __all__ = ["ViewingPositionTracker"]
@@ -81,7 +80,7 @@ class ViewingPositionTracker:
         # converges onto the majority (open-eye) ring, whose centre is the
         # static point both rings share.
         self._fit_fn = lambda pts: fit_circle_dominant(pts, method=method)
-        self._buffer: deque[complex] = deque(maxlen=window)
+        self._buffer = SlidingBlock(window, row_shape=(), dtype=np.dtype(complex))
         self._fit: CircleFit | None = None
         self._since_fit = 0
         self._refitted = False
@@ -132,14 +131,14 @@ class ViewingPositionTracker:
         arc ("arc fitting" is meaningful only over the blink-free motion).
         """
         if not exclude_from_fit:
-            self._buffer.append(complex(sample))
+            self._buffer.push(complex(sample))
         self._since_fit += 1
         self._refitted = False
         if len(self._buffer) >= self.min_samples and (
             self._fit is None or self._since_fit >= self.update_interval
         ):
             self._refitted = True
-            new_fit = self._fit_fn(np.array(self._buffer))
+            new_fit = self._fit_fn(np.array(self._buffer.view()))
             if self._fit is None:
                 self._fit = new_fit
             else:

@@ -295,15 +295,26 @@ def dominant_radius(r: np.ndarray, n_bins: int = 24) -> float:
     r = np.asarray(r, dtype=float).ravel()
     if r.size == 0:
         raise ValueError("dominant_radius requires at least one sample")
-    med = float(np.median(r))
-    if r.size < 4 or np.ptp(r) <= 1e-12 * max(abs(med), 1e-300):
+    return _dominant_radius_sorted(np.sort(r), n_bins)
+
+
+def _dominant_radius_sorted(ordered: np.ndarray, n_bins: int = 24) -> float:
+    """:func:`dominant_radius` on an already-sorted sample vector.
+
+    Sorting once and reading the median/ptp off the order statistics
+    (the exact arithmetic ``np.median`` performs) lets the multi-start
+    scoring loop share one batched sort across all candidate centres.
+    """
+    n = ordered.size
+    half = n >> 1
+    med = float(ordered[half]) if n & 1 else float((ordered[half - 1] + ordered[half]) * 0.5)
+    if n < 4 or ordered[-1] - ordered[0] <= 1e-12 * max(abs(med), 1e-300):
         return med
-    ordered = np.sort(r)
-    width = float(np.ptp(ordered)) / n_bins
-    ends = np.searchsorted(ordered, ordered + width, side="right")
-    counts = ends - np.arange(ordered.size)
-    start = int(np.argmax(counts))
-    return float(np.mean(ordered[start : ends[start]]))
+    width = float(ordered[-1] - ordered[0]) / n_bins
+    ends = ordered.searchsorted(ordered + width, side="right")
+    counts = ends - np.arange(n)
+    start = int(counts.argmax())
+    return float(ordered[start : ends[start]].mean())
 
 
 def ring_concentration(points: np.ndarray, center: complex, tol: float = 0.08) -> float:
@@ -324,11 +335,20 @@ def ring_concentration(points: np.ndarray, center: complex, tol: float = 0.08) -
     while making it a property of the data's own geometry.
     """
     pts = np.asarray(points).ravel()
-    radii = np.abs(pts - center)
-    ring = dominant_radius(radii)
     spread = float(np.sqrt(np.mean(np.abs(pts - np.mean(pts)) ** 2)))
+    return _ring_score(np.sort(np.abs(pts - center)), spread, tol)
+
+
+def _ring_score(ordered_radii: np.ndarray, spread: float, tol: float = 0.08) -> float:
+    """:func:`ring_concentration` from sorted radii and a hoisted spread.
+
+    The spread is a property of the points alone, yet the public function
+    recomputes it per candidate centre; the multi-start loop hoists it
+    out and scores every candidate from one batched radius sort.
+    """
+    ring = _dominant_radius_sorted(ordered_radii)
     band = tol * max(min(ring, 3.0 * spread), 1e-300)
-    return float(np.mean(np.abs(radii - ring) <= band))
+    return np.count_nonzero(np.abs(ordered_radii - ring) <= band) / ordered_radii.size
 
 
 def fit_circle_dominant(
@@ -399,7 +419,12 @@ def fit_circle_dominant(
         for k in range(8):
             candidates.append(centroid + scale * spread * np.exp(1j * (np.pi * k / 4.0)))
 
-    scores = [ring_concentration(pts, c) for c in candidates]
+    # Score every candidate off one batched |pts − c| matrix and one
+    # row-wise sort; identical arithmetic to scoring them one at a time.
+    centers = np.asarray(candidates, dtype=complex)
+    radii_matrix = np.abs(pts[None, :] - centers[:, None])
+    radii_matrix.sort(axis=1)
+    scores = [_ring_score(row, spread) for row in radii_matrix]
     best = max(scores)
     # Tie-break toward the plain fit: on a clean single arc many centres
     # along the bisector score ~1, and an inward-biased start would
@@ -411,18 +436,27 @@ def fit_circle_dominant(
 
     fit = None
     center = start
+    prev_keep: np.ndarray | None = None
     for _ in range(iterations):
         radii = np.abs(pts - center)
         ring = dominant_radius(radii)
         keep = np.abs(radii - ring) <= band * max(ring, 1e-300)
         if keep.sum() < max(8, len(pts) // 6):
             break
+        if prev_keep is not None and np.array_equal(keep, prev_keep):
+            # Fixed point: the same sample set yields the same fit and
+            # therefore the same gate next round — remaining iterations
+            # are provably identical, so skip them.
+            break
+        prev_keep = keep
         fit = fit_fn(pts[keep])
         center = fit.center
     if fit is None:
         return plain
     # Accept the gated fit only if it describes the data at least as well
     # as the plain fit; otherwise the plain fit is the safer answer.
-    if ring_concentration(pts, fit.center) + 0.02 < ring_concentration(pts, plain.center):
+    gated_score = _ring_score(np.sort(np.abs(pts - fit.center)), spread)
+    plain_score = _ring_score(np.sort(np.abs(pts - plain.center)), spread)
+    if gated_score + 0.02 < plain_score:
         return plain
     return fit

@@ -52,16 +52,15 @@ def local_maxima(x: np.ndarray, min_distance: int = 1) -> np.ndarray:
     if cand.size == 0:
         return cand
     # Collapse consecutive candidates into runs; a run [s..e] is a maximum
-    # only if the signal descends on both sides of the run.
+    # only if the signal descends on both sides of the run. All runs are
+    # tested with one vectorized gather — no Python loop over plateaus.
     breaks = np.flatnonzero(np.diff(cand) > 1)
     starts = np.concatenate([[0], breaks + 1])
     ends = np.concatenate([breaks, [cand.size - 1]])
-    peaks = []
-    for s, e in zip(starts, ends):
-        lo, hi = int(cand[s]), int(cand[e])
-        if x[lo - 1] < x[lo] and x[hi + 1] < x[hi]:
-            peaks.append((lo + hi) // 2)
-    candidates = np.array(peaks, dtype=int)
+    lo = cand[starts]
+    hi = cand[ends]
+    descends = (x[lo - 1] < x[lo]) & (x[hi + 1] < x[hi])
+    candidates = ((lo + hi) // 2)[descends]
     return _enforce_distance(candidates, x, min_distance, keep_largest=True)
 
 

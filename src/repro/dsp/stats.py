@@ -12,11 +12,19 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["mad_sigma", "RunningStats", "empirical_cdf", "percentile_of"]
+__all__ = [
+    "mad_sigma",
+    "RunningStats",
+    "SortedWindow",
+    "empirical_cdf",
+    "percentile_of",
+]
 
 # Scale factor that makes the MAD a consistent estimator of sigma for
 # Gaussian data: 1 / Phi^{-1}(3/4).
@@ -74,6 +82,107 @@ class RunningStats:
         self.count = 0
         self.mean = 0.0
         self._m2 = 0.0
+
+
+class SortedWindow:
+    """FIFO window with O(window) incremental order statistics.
+
+    The streaming pipeline needs a median or quantile of a sliding window
+    on *every frame* (movement-spike metric, LEVD detrend and sigma
+    buffers). Calling ``np.median`` on a freshly materialized array costs
+    a full sort per frame; this class keeps the window's values in a
+    sorted list maintained by ``bisect`` — insertion and FIFO expiry are
+    one ``memmove`` each — and evaluates the order statistic straight
+    from the sorted list with the *exact* arithmetic numpy uses, so the
+    results are bit-for-bit identical to ``np.median`` /
+    ``np.quantile(method="linear")`` on the same values.
+
+    NaNs never enter the sorted list (they have no order); a counter
+    tracks how many live in the window and any statistic returns NaN
+    while it is nonzero — the same poisoning ``np.median`` applies.
+    """
+
+    __slots__ = ("maxlen", "_fifo", "_sorted", "_nan_count")
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._fifo: deque[float] = deque()
+        self._sorted: list[float] = []
+        self._nan_count = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __iter__(self):
+        """Chronological (FIFO) iteration, oldest first."""
+        return iter(self._fifo)
+
+    def push(self, value: float) -> None:
+        """Append ``value``, expiring the oldest entry at capacity."""
+        value = float(value)
+        if self.maxlen is not None and len(self._fifo) >= self.maxlen:
+            oldest = self._fifo.popleft()
+            if oldest != oldest:  # NaN
+                self._nan_count -= 1
+            else:
+                del self._sorted[bisect_left(self._sorted, oldest)]
+        self._fifo.append(value)
+        if value != value:
+            self._nan_count += 1
+        else:
+            insort(self._sorted, value)
+
+    def clear(self) -> None:
+        """Forget every entry."""
+        self._fifo.clear()
+        self._sorted.clear()
+        self._nan_count = 0
+
+    def to_array(self) -> np.ndarray:
+        """The window in chronological order as a float array."""
+        return np.array(self._fifo, dtype=float)
+
+    def median(self) -> float:
+        """``np.median`` of the window, from the sorted list."""
+        n = len(self._fifo)
+        if n == 0:
+            raise ValueError("median of an empty window")
+        if self._nan_count:
+            return float("nan")
+        s = self._sorted
+        half = n >> 1
+        if n & 1:
+            return s[half]
+        return (s[half - 1] + s[half]) * 0.5
+
+    def quantile(self, q: float) -> float:
+        """``np.quantile(..., method="linear")`` of the window.
+
+        Reproduces numpy's two-sided lerp exactly: the interpolation is
+        evaluated from whichever bracketing order statistic is nearer,
+        which matters in the last float ulp.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        n = len(self._fifo)
+        if n == 0:
+            raise ValueError("quantile of an empty window")
+        if self._nan_count:
+            return float("nan")
+        s = self._sorted
+        virt = q * (n - 1)
+        j = int(virt)
+        if j >= n - 1:
+            return s[n - 1]
+        g = virt - j
+        a = s[j]
+        b = s[j + 1]
+        diff = b - a
+        if g >= 0.5:
+            return b - diff * (1.0 - g)
+        return a + diff * g
 
 
 def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -408,53 +408,93 @@ class DetectorSession:
     def process(self, item: FrameItem, enqueued_at: float | None = None) -> None:
         """Run the detector over one produced item (worker side, serialized).
 
+        The single-item degenerate case of :meth:`process_batch` — there
+        is exactly one processing implementation.
+        """
+        self.process_batch([item], enqueued_ats=[enqueued_at])
+
+    def process_batch(
+        self, items: list[FrameItem], enqueued_ats: list[float | None] | None = None
+    ) -> None:
+        """Run the detector over several queued items (worker side, serialized).
+
+        Contiguous same-generation runs are stacked and fed to
+        :meth:`~repro.core.realtime.RealTimeBlinkDetector.process_block`,
+        so a drained batch pays for one fused kernel launch instead of
+        one per frame. Because the block walk is bit-identical to the
+        frame-at-a-time walk, batching changes no detection output —
+        the scheduler-vs-serial equivalence test holds frame counts,
+        blink times and restarts fixed across batch sizes.
+
         Frames queued before a restart (older generation) are flushed,
         not processed: a reborn detector must cold-start on live frames,
         not on a backlog from its dead predecessor followed by a time
-        jump it would misread as body movement.
+        jump it would misread as body movement. Staleness is judged
+        once per run; a recovery landing mid-run supersedes the
+        detector just as it could mid-frame before, and the state
+        mirror below stays generation-guarded either way.
         """
-        generation, time_s, frame = item
+        if enqueued_ats is None:
+            enqueued_ats = [None] * len(items)
+        start = 0
+        for k in range(1, len(items) + 1):
+            if k == len(items) or items[k][0] != items[start][0]:
+                self._process_run(items[start:k], enqueued_ats[start:k])
+                start = k
+
+    def _process_run(
+        self, items: list[FrameItem], enqueued_ats: list[float | None]
+    ) -> None:
+        generation = items[0][0]
         with self._lock:
             detector = self.detector
             current = self._generation
         if detector is None:
             return
         if generation != current:
-            self._metric("dropped_stale").inc()
-            self.metrics.counter("fleet.dropped_stale").inc()
-            self._emit(FrameDropEvent(self.session_id, time_s, 1, where="stale"))
+            for _, time_s, _ in items:
+                self._metric("dropped_stale").inc()
+                self.metrics.counter("fleet.dropped_stale").inc()
+                self._emit(FrameDropEvent(self.session_id, time_s, 1, where="stale"))
             return
-        status = detector.process_frame(frame)
-        self.frames_processed += 1
-        self._last_det_index = status.frame_index
-        self._metric("frames_processed").inc()
-        self.metrics.counter("fleet.frames_processed").inc()
-        if enqueued_at is not None:
-            latency = time.perf_counter() - enqueued_at
-            self.metrics.histogram(f"session.{self.session_id}.latency_s").observe(latency)
-            self.metrics.histogram("fleet.latency_s").observe(latency)
-        if status.restarted:
-            self.restarts += 1
-            self._metric("restarts").inc()
-            self.metrics.counter("fleet.restarts").inc()
-            self._emit(RestartEvent(self.session_id, time_s, reason="movement"))
-        if status.event is not None:
-            # Stamp the blink at its apex in world time: LEVD completes a
-            # blink a few hundred ms after the apex, and the detector's
-            # own clock counts only delivered frames.
-            apex = self._apex_time(time_s, status.frame_index, status.event.frame_index)
-            self._on_blink(apex, status.event.frame_index, status.event.prominence)
-        # Mirror the detector's internal cold-start cycle into the
-        # session state (movement restarts re-enter cold start too).
-        # Guarded by generation: a recovery may supersede this detector
-        # while process_frame runs, and its bin selection must not leak
-        # onto the new incarnation's state.
+        statuses = detector.process_block(np.stack([frame for _, _, frame in items]))
+        done_at = time.perf_counter()
+        self.frames_processed += len(statuses)
+        self._last_det_index = statuses[-1].frame_index
+        self._metric("frames_processed").inc(len(statuses))
+        self.metrics.counter("fleet.frames_processed").inc(len(statuses))
+        for (_, time_s, _), status, enqueued_at in zip(items, statuses, enqueued_ats):
+            if enqueued_at is not None:
+                latency = done_at - enqueued_at
+                self.metrics.histogram(f"session.{self.session_id}.latency_s").observe(latency)
+                self.metrics.histogram("fleet.latency_s").observe(latency)
+            if status.restarted:
+                self.restarts += 1
+                self._metric("restarts").inc()
+                self.metrics.counter("fleet.restarts").inc()
+                self._emit(RestartEvent(self.session_id, time_s, reason="movement"))
+            if status.event is not None:
+                # Stamp the blink at its apex in world time: LEVD
+                # completes a blink a few hundred ms after the apex, and
+                # the detector's own clock counts only delivered frames.
+                apex = self._apex_time(time_s, status.frame_index, status.event.frame_index)
+                self._on_blink(apex, status.event.frame_index, status.event.prominence)
+            # Mirror the detector's internal cold-start cycle into the
+            # session state (movement restarts re-enter cold start too).
+            # status.selected_bin reflects the detector's bin *after*
+            # this frame, so mirroring from statuses is frame-exact.
+            # Guarded by generation: a recovery may supersede this
+            # detector while the block runs, and its bin selection must
+            # not leak onto the new incarnation's state.
+            self._mirror_state(generation, time_s, selected=status.selected_bin != -1)
+
+    def _mirror_state(self, generation: int, time_s: float, selected: bool) -> None:
         new_state: SessionState | None = None
         with self._lock:
             if self._generation == generation:
-                if self._state is SessionState.COLD_START and detector.selected_bin is not None:
+                if self._state is SessionState.COLD_START and selected:
                     self._state = new_state = SessionState.RUNNING
-                elif self._state is SessionState.RUNNING and detector.selected_bin is None:
+                elif self._state is SessionState.RUNNING and not selected:
                     self._state = new_state = SessionState.COLD_START
         if new_state is not None:
             old = (

@@ -62,6 +62,7 @@ def all_rules() -> tuple[LintRule, ...]:
     from repro.lint.rules import (
         deadflow,
         determinism,
+        hotpath,
         hygiene,
         lifecycle,
         locks,
@@ -69,7 +70,7 @@ def all_rules() -> tuple[LintRule, ...]:
         units,
     )
 
-    modules = (determinism, rngflow, units, locks, hygiene, lifecycle, deadflow)
+    modules = (determinism, rngflow, units, locks, hygiene, lifecycle, deadflow, hotpath)
     out: list[LintRule] = []
     for module in modules:
         out.extend(module.RULES)

@@ -1,0 +1,87 @@
+"""Hot-path allocation rule: the batched kernels must not allocate per call.
+
+The batched pipeline's throughput rests on preallocated scratch buffers
+(:class:`repro.dsp.filters.FilterScratch`, the detector ring buffers):
+a stray ``np.zeros`` / ``np.empty`` / ``np.concatenate`` inside a
+per-frame kernel silently reintroduces an allocation *per call* — the
+exact regression the batching work removed, and one no functional test
+can catch. ``hotpath-alloc`` makes the no-allocation invariant
+machine-checked, the same way the determinism rules pin replayability.
+
+Scope: functions whose ``def`` line carries a ``# reprolint: hotpath``
+pragma, in ``repro.core.batched`` and the ``repro.dsp`` package (the
+kernel layer). Markers elsewhere are inert, so service code can document
+hot paths without opting into the ban.
+
+A deliberate allocation (e.g. the result buffer of an ``out=``-style
+API, allocated only when the caller passes no buffer) is acknowledged
+in place with ``# reprolint: disable=hotpath-alloc``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule, dotted_name
+
+__all__ = ["HotpathAllocRule", "RULES"]
+
+#: Allocating calls banned inside a hot-path function.
+_ALLOC_CALLS = frozenset(
+    {
+        "np.zeros",
+        "np.empty",
+        "np.concatenate",
+        "numpy.zeros",
+        "numpy.empty",
+        "numpy.concatenate",
+    }
+)
+
+
+class HotpathAllocRule(LintRule):
+    """No per-call numpy allocations inside ``# reprolint: hotpath`` functions."""
+
+    name = "hotpath-alloc"
+    summary = (
+        "np.zeros/np.empty/np.concatenate inside a `# reprolint: hotpath` "
+        "function allocates per call; use preallocated scratch buffers"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            pragma = ctx.pragma(node.lineno)
+            if pragma is None or not pragma.hotpath:
+                continue
+            yield from self._check_function(ctx, node)
+
+    @staticmethod
+    def _in_scope(ctx: FileContext) -> bool:
+        return ctx.module_parts == ("core", "batched") or ctx.in_package("dsp")
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Diagnostic]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            called = dotted_name(node.func)
+            if called in _ALLOC_CALLS:
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f"`{called}` allocates on every call of hot-path function "
+                    f"`{fn.name}`; thread a preallocated scratch buffer "
+                    "through instead (or acknowledge a deliberate result "
+                    "allocation with `# reprolint: disable=hotpath-alloc`)",
+                )
+
+
+RULES: tuple[LintRule, ...] = (HotpathAllocRule(),)

@@ -24,6 +24,11 @@ Three pragma forms, all attached to the physical line they appear on:
     stop requiring release on this path and instead flag any *later*
     use of a moved name (``use-after-move``) until it is rebound.
 
+``# reprolint: hotpath``
+    Placed on a ``def`` line: the function is on the per-frame hot path
+    and must not allocate per call — the ``hotpath-alloc`` rule flags
+    ``np.zeros`` / ``np.empty`` / ``np.concatenate`` inside it.
+
 Pragmas are parsed from real COMMENT tokens via :mod:`tokenize`, so a
 ``# reprolint:`` inside a string literal is never misread as a pragma.
 Unrecognised pragma bodies are returned as errors and surfaced by the
@@ -56,6 +61,7 @@ class LinePragmas:
     guarded_by: tuple[str, ...] = ()
     unguarded_ok: bool = False
     moves: tuple[str, ...] = ()
+    hotpath: bool = False
 
     def suppresses(self, rule: str) -> bool:
         """True when this line disables ``rule`` (or everything)."""
@@ -77,6 +83,7 @@ class _Builder:
     guarded_by: list[str] = field(default_factory=list)
     unguarded_ok: bool = False
     moves: list[str] = field(default_factory=list)
+    hotpath: bool = False
 
     def freeze(self) -> LinePragmas:
         return LinePragmas(
@@ -84,6 +91,7 @@ class _Builder:
             guarded_by=tuple(self.guarded_by),
             unguarded_ok=self.unguarded_ok,
             moves=tuple(self.moves),
+            hotpath=self.hotpath,
         )
 
 
@@ -102,6 +110,8 @@ def _parse_body(
             builder.disabled.update(names)
         elif token == "unguarded-ok":
             builder.unguarded_ok = True
+        elif token == "hotpath":
+            builder.hotpath = True
         elif token.startswith("guarded-by"):
             match = _GUARDED_RE.fullmatch(token)
             if match is None:

@@ -49,6 +49,12 @@ class FakeSession:
         self.processed.append(item)
         self._in_process -= 1
 
+    def process_batch(self, items, enqueued_ats=None):
+        if enqueued_ats is None:
+            enqueued_ats = [None] * len(items)
+        for item, enqueued_at in zip(items, enqueued_ats):
+            self.process(item, enqueued_at=enqueued_at)
+
     def close(self):
         self.closed = True
         self.state = SessionState.STOPPED

@@ -1,0 +1,122 @@
+"""hotpath-alloc: per-call numpy allocations in marked hot-path kernels."""
+
+import pytest
+
+HOT_DEF = "def kernel(rows, scratch):  # reprolint: hotpath"
+
+
+class TestHotpathAlloc:
+    @pytest.mark.parametrize("call", ["np.zeros", "np.empty", "np.concatenate"])
+    def test_alloc_in_marked_function_flagged(self, linter, call):
+        names = linter.rule_names(
+            f"""
+            import numpy as np
+
+            {HOT_DEF}
+                buf = {call}((4, 4))
+                return buf
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert names == ["hotpath-alloc"]
+
+    def test_numpy_spelling_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy
+
+            def kernel(rows):  # reprolint: hotpath
+                return numpy.empty(3)
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert names == ["hotpath-alloc"]
+
+    def test_core_batched_in_scope(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def fuse(blocks):  # reprolint: hotpath
+                return np.concatenate(blocks)
+            """,
+            rel="repro/core/batched.py",
+        )
+        assert names == ["hotpath-alloc"]
+
+    def test_unmarked_function_not_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def cold(rows):
+                return np.zeros_like(rows) + np.empty(3)
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert "hotpath-alloc" not in names
+
+    def test_marker_outside_scope_is_inert(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def service_step(x):  # reprolint: hotpath
+                return np.empty(3)
+            """,
+            rel="repro/fleet/worker.py",
+        )
+        assert "hotpath-alloc" not in names
+
+    def test_nonalloc_numpy_calls_allowed(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def kernel(rows, out):  # reprolint: hotpath
+                np.multiply(rows, 2.0, out=out)
+                return np.convolve(out.reshape(-1), out[0], mode="valid")
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert "hotpath-alloc" not in names
+
+    def test_nested_function_allocation_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def kernel(rows):  # reprolint: hotpath
+                def inner():
+                    return np.zeros(3)
+                return inner()
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert names == ["hotpath-alloc"]
+
+    def test_disable_pragma_acknowledges_result_buffer(self, linter):
+        names = linter.rule_names(
+            """
+            import numpy as np
+
+            def kernel(rows, out=None):  # reprolint: hotpath
+                if out is None:
+                    out = np.empty(rows.shape)  # reprolint: disable=hotpath-alloc
+                return out
+            """,
+            rel="repro/dsp/kernels.py",
+        )
+        assert "hotpath-alloc" not in names
+
+    def test_marked_kernels_in_repo_stay_clean(self, repo_root):
+        """The real kernel layer must hold its own invariant."""
+        from repro.lint import lint_paths
+        from repro.lint.rules.hotpath import HotpathAllocRule
+
+        paths = [
+            repo_root / "src" / "repro" / "dsp",
+            repo_root / "src" / "repro" / "core" / "batched.py",
+        ]
+        result = lint_paths(paths, rules=[HotpathAllocRule()], jobs=1, root=repo_root)
+        assert [d.rule for d in result.diagnostics] == []

@@ -1,0 +1,175 @@
+"""Capture golden pipeline outputs for the batched-kernel equality gate.
+
+Runs the full BlinkRadar pipeline over a fixed battery of simulated
+scenarios and freezes every observable output — the r(k) waveform, the
+selected-bin series, restart times, blink events and the session score —
+into ``tests/golden/pipeline_golden_<name>.npz`` artifacts.
+
+The equality tests (``tests/core/test_batched_golden.py``) re-simulate the
+same realisations through the store catalog (recording ``.rst`` traces on
+first run), check the frame matrix hash against the one frozen here, and
+then assert the pipeline reproduces these outputs **bit for bit**. The
+artifacts in the repo were captured from the pre-batching scalar
+implementation (PR 6 seed), so they prove the vectorized kernel layer is
+a pure refactor of the per-frame path.
+
+Regenerate (only when pipeline *behaviour* is intentionally changed)::
+
+    PYTHONPATH=src python tools/capture_golden_traces.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+#: name -> (participant, state, road, duration_s, allow_posture_shifts, seed)
+GOLDEN_SPECS: dict[str, tuple[str, str, str, float, bool, int]] = {
+    "awake_parked": ("P01", "awake", "parked", 60.0, False, 77),
+    "drowsy_parked": ("P03", "drowsy", "parked", 60.0, False, 101),
+    "awake_bumpy_shifts": ("P02", "awake", "bumpy", 60.0, True, 55),
+}
+
+#: Extra golden built from synthetic frames rather than the simulator:
+#: an abrupt posture jump (new bin, new phase, 6× amplitude) at frame
+#: 700 that trips the movement-spike restart — a path no simulated
+#: scenario reaches, so it gets its own frozen artifact.
+SYNTHETIC_NAME = "synthetic_restart"
+
+
+def synthetic_restart_frames() -> np.ndarray:
+    """Deterministic two-segment scene whose splice forces a restart."""
+    a = _two_reflector_frames(700, eye_bin=25, seed=11)
+    b = _two_reflector_frames(700, eye_bin=46, seed=12) * np.exp(1j * 2.1)
+    return np.concatenate([a, 6.0 * b])
+
+
+def _two_reflector_frames(
+    n_frames: int,
+    n_bins: int = 110,
+    eye_bin: int = 25,
+    torso_bin: int = 80,
+    seed: int = 0,
+    eye_amp: float = 1.2e-4,
+    torso_amp: float = 4e-4,
+    noise: float = 5e-7,
+) -> np.ndarray:
+    """Swaying face + breathing torso (matches the realtime test scene)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_frames) / 25.0
+    frames = np.zeros((n_frames, n_bins), dtype=complex)
+    bins = np.arange(n_bins)
+    eye_env = np.exp(-((bins - eye_bin) ** 2) / (2 * 8.0**2))
+    torso_env = np.exp(-((bins - torso_bin) ** 2) / (2 * 8.0**2))
+    head_phase = 0.9 * np.sin(2 * np.pi * 0.25 * t)
+    chest_phase = 2.5 * np.sin(2 * np.pi * 0.25 * t + 1.0)
+    frames += eye_amp * np.exp(1j * head_phase)[:, None] * eye_env[None, :]
+    frames += torso_amp * np.exp(1j * chest_phase)[:, None] * torso_env[None, :]
+    frames += noise * (rng.normal(size=frames.shape) + 1j * rng.normal(size=frames.shape))
+    return frames
+
+
+def golden_scenario(name: str):
+    """Reconstruct the Scenario object for one golden spec."""
+    from repro.physio import ParticipantProfile
+    from repro.sim import Scenario
+
+    participant, state, road, duration_s, shifts, _seed = GOLDEN_SPECS[name]
+    return Scenario(
+        participant=ParticipantProfile(participant),
+        state=state,
+        road=road,
+        duration_s=duration_s,
+        allow_posture_shifts=shifts,
+    )
+
+
+def frames_digest(frames: np.ndarray, timestamps_s: np.ndarray) -> str:
+    """Chunking-free digest of a capture (frames + timestamps, C order)."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(timestamps_s).tobytes())
+    h.update(np.ascontiguousarray(frames).tobytes())
+    return h.hexdigest()
+
+
+def capture(name: str) -> Path:
+    """Run the pipeline over one golden realisation and freeze its outputs."""
+    from repro.core.pipeline import BlinkRadar
+    from repro.eval.metrics import score_blink_detection
+    from repro.sim import simulate
+
+    seed = GOLDEN_SPECS[name][5]
+    scenario = golden_scenario(name)
+    trace = simulate(scenario, seed=seed)
+    radar = BlinkRadar(frame_rate_hz=trace.frame_rate_hz)
+    detection = radar.detect(trace.frames)
+    score = score_blink_detection(trace.blink_times_s, detection.event_times_s)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    out = GOLDEN_DIR / f"pipeline_golden_{name}.npz"
+    np.savez_compressed(
+        out,
+        frames_sha256=np.array(frames_digest(trace.frames, trace.timestamps_s)),
+        seed=np.array(seed),
+        frame_rate_hz=np.array(trace.frame_rate_hz),
+        relative_distance=detection.relative_distance,
+        selected_bins=detection.selected_bins,
+        restart_times_s=np.array(detection.restart_times_s, dtype=float),
+        event_frame_indices=np.array([e.frame_index for e in detection.events], dtype=int),
+        event_times_s=np.array([e.time_s for e in detection.events], dtype=float),
+        event_prominences=np.array([e.prominence for e in detection.events], dtype=float),
+        accuracy=np.array(score.accuracy),
+    )
+    return out
+
+
+def capture_synthetic() -> Path:
+    """Freeze the synthetic posture-jump realisation (restart coverage)."""
+    from repro.core.pipeline import BlinkRadar
+
+    frames = synthetic_restart_frames()
+    frame_rate_hz = 25.0
+    timestamps_s = np.arange(len(frames)) / frame_rate_hz
+    detection = BlinkRadar(frame_rate_hz=frame_rate_hz).detect(frames)
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    out = GOLDEN_DIR / f"pipeline_golden_{SYNTHETIC_NAME}.npz"
+    np.savez_compressed(
+        out,
+        frames_sha256=np.array(frames_digest(frames, timestamps_s)),
+        seed=np.array(-1),
+        frame_rate_hz=np.array(frame_rate_hz),
+        relative_distance=detection.relative_distance,
+        selected_bins=detection.selected_bins,
+        restart_times_s=np.array(detection.restart_times_s, dtype=float),
+        event_frame_indices=np.array([e.frame_index for e in detection.events], dtype=int),
+        event_times_s=np.array([e.time_s for e in detection.events], dtype=float),
+        event_prominences=np.array([e.prominence for e in detection.events], dtype=float),
+        accuracy=np.array(np.nan),
+    )
+    return out
+
+
+def main() -> None:
+    for name in GOLDEN_SPECS:
+        path = capture(name)
+        data = np.load(path, allow_pickle=False)
+        print(
+            f"{name}: {path.name} events={len(data['event_times_s'])} "
+            f"restarts={len(data['restart_times_s'])} "
+            f"accuracy={float(data['accuracy']):.3f}"
+        )
+    path = capture_synthetic()
+    data = np.load(path, allow_pickle=False)
+    print(
+        f"{SYNTHETIC_NAME}: {path.name} events={len(data['event_times_s'])} "
+        f"restarts={len(data['restart_times_s'])}"
+    )
+
+
+if __name__ == "__main__":
+    main()
