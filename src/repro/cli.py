@@ -11,6 +11,9 @@ Five commands cover the everyday workflows:
   injected SPI faults) and print health + metrics.
 - ``store``     — record, replay, inspect, and verify chunked ``.rst``
   recordings (the ``repro.store`` trace container).
+- ``gateway``   — the streaming network ingest service: serve frames
+  over TCP into the fleet, load-test it with replayed traces, scrape
+  its Prometheus metrics.
 - ``lint``      — run reprolint, the repo's AST-based invariant checker
   (determinism, units discipline, lock discipline, API hygiene).
 
@@ -23,6 +26,8 @@ Examples::
     python -m repro fleet --vehicles 8 --faults 2 --duration 30
     python -m repro store record --road bumpy -o drive.rst
     python -m repro store verify drive.rst
+    python -m repro gateway serve --port 9400 --record-dir rec/
+    python -m repro gateway load drive.rst --port 9400 --vehicles 16
     python -m repro lint src --format json
 """
 
@@ -45,6 +50,7 @@ from repro.eval.sweeps import (
     glasses_sweep,
     road_group_sweep,
 )
+from repro.gateway.cli import add_gateway_arguments, run_gateway
 from repro.lint.cli import add_lint_arguments, run_lint_safely
 from repro.store.cli import add_store_arguments, run_store
 from repro.physio import ParticipantProfile
@@ -106,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sto = sub.add_parser("store", help="record/replay/verify chunked .rst recordings")
     add_store_arguments(sto)
+
+    gtw = sub.add_parser("gateway", help="streaming network ingest service + load harness")
+    add_gateway_arguments(gtw)
 
     lnt = sub.add_parser("lint", help="run reprolint, the AST invariant checker")
     add_lint_arguments(lnt)
@@ -272,6 +281,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "fleet": _cmd_fleet,
         "store": run_store,
+        "gateway": run_gateway,
         "lint": run_lint_safely,
     }
     return handlers[args.command](args)

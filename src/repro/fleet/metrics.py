@@ -21,6 +21,8 @@ fails to import.
 
 from __future__ import annotations
 
+import math
+import re
 import threading
 from collections import deque
 from typing import Callable, TypeVar
@@ -151,6 +153,63 @@ class Histogram:
         return base
 
 
+#: Characters legal in a Prometheus metric name; everything else maps
+#: to ``_``.
+_PROM_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantiles exported for every histogram (the registry's
+#: snapshot trio).
+_PROM_QUANTILES: tuple[tuple[str, float], ...] = (("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0))
+
+
+def _prom_name(raw: str) -> str:
+    """A registry name as a Prometheus metric name (dots become ``_``)."""
+    name = _PROM_NAME_ILLEGAL.sub("_", raw)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_value(value: float) -> str:
+    """Render one sample value (exposition accepts NaN/Inf spellings)."""
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _prom_split(name: str, namespace: str) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """``(family, labels)`` for one registry name.
+
+    Per-session instruments — the registry convention
+    ``session.<id>.<metric>`` — fold into one labelled family per
+    metric (``repro_session_latency_s{session="v03"}``) instead of one
+    family per vehicle, which is what makes the export scrapeable at
+    fleet scale.
+    """
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[0] == "session":
+        family = _prom_name(f"{namespace}_session_{'_'.join(parts[2:])}")
+        return family, (("session", parts[1]),)
+    return _prom_name(f"{namespace}_{'_'.join(parts)}"), ()
+
+
+def _prom_series(family: str, labels: tuple[tuple[str, str], ...], value: str) -> str:
+    if not labels:
+        return f"{family} {value}"
+    rendered = ",".join(f'{key}="{_prom_escape(val)}"' for key, val in labels)
+    return f"{family}{{{rendered}}} {value}"
+
+
 class MetricsRegistry:
     """Get-or-create home for every instrument in one service.
 
@@ -208,3 +267,70 @@ class MetricsRegistry:
             else:
                 out["histograms"][name] = instrument.snapshot()
         return out
+
+    def render_prometheus(self, namespace: str = "repro") -> str:
+        """Every instrument in Prometheus text exposition format.
+
+        - Counters export as ``<namespace>_<name>_total`` with
+          ``# TYPE ... counter``.
+        - Gauges export under their name with ``# TYPE ... gauge``.
+        - Histograms export as summaries: ``{quantile="0.5|0.95|0.99"}``
+          series over the retained window plus exact ``_sum`` and
+          ``_count`` over the full stream.
+        - ``session.<id>.<metric>`` names fold into one family per
+          metric with a ``session`` label.
+
+        The output is deterministic: families are sorted by name, series
+        within a family by label values, and label order is fixed
+        (``session`` before ``quantile``), so two registries holding the
+        same instruments render byte-identical text.
+        """
+        with self._lock:
+            items = sorted(self._instruments.items())
+        # family -> (type, [(labels, value_str) ...]); insertion of
+        # series follows the sorted registry walk, so per-family series
+        # order is the sorted label order for free.
+        families: dict[str, tuple[str, list[str]]] = {}
+
+        def emit(family: str, prom_type: str, lines: list[str]) -> None:
+            known = families.setdefault(family, (prom_type, []))
+            if known[0] != prom_type:  # name collision across kinds
+                raise ValueError(
+                    f"metric family {family!r} rendered as both "
+                    f"{known[0]} and {prom_type}"
+                )
+            known[1].extend(lines)
+
+        for name, instrument in items:
+            family, labels = _prom_split(name, namespace)
+            if isinstance(instrument, Counter):
+                emit(
+                    f"{family}_total",
+                    "counter",
+                    [_prom_series(f"{family}_total", labels, _prom_value(instrument.value))],
+                )
+            elif isinstance(instrument, Gauge):
+                emit(family, "gauge", [_prom_series(family, labels, _prom_value(instrument.value))])
+            else:
+                snap = instrument.snapshot()
+                lines = [
+                    _prom_series(
+                        family,
+                        labels + (("quantile", q_label),),
+                        _prom_value(float(instrument.percentile(q))),
+                    )
+                    for q_label, q in _PROM_QUANTILES
+                ]
+                lines.append(
+                    _prom_series(f"{family}_sum", labels, _prom_value(float(snap.get("sum", 0.0))))
+                )
+                lines.append(
+                    _prom_series(f"{family}_count", labels, _prom_value(float(snap["count"])))
+                )
+                emit(family, "summary", lines)
+        out: list[str] = []
+        for family in sorted(families):
+            prom_type, lines = families[family]
+            out.append(f"# TYPE {family} {prom_type}")
+            out.extend(lines)
+        return "\n".join(out) + "\n" if out else ""

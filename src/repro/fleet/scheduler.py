@@ -21,6 +21,20 @@ Two invariants make this correct and deterministic per session:
 The pump never blocks on a slow session; a session's losses stay its
 own. Detector math is numpy-heavy and releases the GIL, so the pool
 buys real concurrency on this workload.
+
+Two execution modes share the worker pool:
+
+- **Pump mode** (:meth:`FleetScheduler.run`): the scheduler owns frame
+  production — it advances every session's emulated device in lockstep
+  and blocks until the fleet finishes.
+- **Serve mode** (:meth:`FleetScheduler.start` / :meth:`FleetScheduler.stop`):
+  frame production happens elsewhere (the network gateway); sessions are
+  :meth:`attached <attach>` at runtime and frames arrive through
+  :meth:`submit`, the public non-blocking ingestion path. Submitted
+  frames get exactly the pump's treatment — same bounded queues, same
+  drop-oldest backpressure, same metrics — and the sessions stay
+  *externally owned*: :meth:`stop` drains the queues but never closes
+  an attached session.
 """
 
 from __future__ import annotations
@@ -86,18 +100,24 @@ class FleetScheduler:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
-        if not sessions:
-            raise ValueError("need at least one session")
         self.workers = workers
         self.queue_depth = queue_depth
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.pace_s = pace_s
         #: Slot list and queues are shared with the workers: the list
-        #: itself is immutable after construction, but queue/claim state
-        #: inside each slot is only touched under the condition.
+        #: only grows (attach) or shrinks (detach) under the condition,
+        #: and queue/claim state inside each slot is only touched under
+        #: the condition. An empty list is legal: serve mode attaches
+        #: sessions after construction.
         self._slots = [_SessionSlot(session=s) for s in sessions]
         self._cond = threading.Condition()
+        self._by_id: dict[str, _SessionSlot] = {}  # reprolint: guarded-by(_cond)
+        for slot in self._slots:
+            if slot.session.session_id in self._by_id:
+                raise ValueError(f"duplicate session id {slot.session.session_id!r}")
+            self._by_id[slot.session.session_id] = slot
         self._pumping = False  # reprolint: guarded-by(_cond)
+        self._serve_threads: list[threading.Thread] = []
 
     # ------------------------------------------------------------------- pump
     def run(self, max_rounds: int | None = None) -> int:
@@ -108,6 +128,10 @@ class FleetScheduler:
         """
         from repro.fleet.session import SessionState
 
+        if self._serve_threads:
+            raise RuntimeError("scheduler is in serve mode; stop() it before run()")
+        if not self._slots:
+            raise ValueError("need at least one session")
         for slot in self._slots:
             if slot.session.state is SessionState.INIT:
                 slot.session.start()
@@ -149,7 +173,8 @@ class FleetScheduler:
                 slot.session.close()
         return rounds
 
-    def _enqueue(self, slot: _SessionSlot, item: FrameItem) -> None:
+    def _enqueue(self, slot: _SessionSlot, item: FrameItem) -> bool:
+        """Bounded enqueue with drop-oldest; True when a frame was shed."""
         session = slot.session
         with self._cond:
             if len(slot.queue) >= self.queue_depth:
@@ -168,6 +193,98 @@ class FleetScheduler:
                 FrameDropEvent(session.session_id, session.time_s, dropped_now, where="queue")
             )
         self.metrics.gauge(f"session.{session.session_id}.queue_depth").set(depth)
+        return bool(dropped_now)
+
+    # -------------------------------------------------------- external ingest
+    def attach(self, session: DetectorSession) -> None:
+        """Register an externally-owned session at runtime (serve mode).
+
+        The session's frames are expected through :meth:`submit`; the
+        scheduler never calls :meth:`~DetectorSession.produce` or
+        :meth:`~DetectorSession.close` on it — production and lifecycle
+        stay with the caller (the gateway's connection handler).
+        """
+        with self._cond:
+            if session.session_id in self._by_id:
+                raise ValueError(f"duplicate session id {session.session_id!r}")
+            slot = _SessionSlot(session=session)
+            self._slots.append(slot)
+            self._by_id[session.session_id] = slot
+
+    def detach(self, session_id: str) -> int:
+        """Unregister a session; returns frames still queued (discarded).
+
+        Call after :meth:`drained` reports the queue empty to guarantee
+        nothing is lost; detaching early sheds the backlog deliberately.
+        """
+        with self._cond:
+            slot = self._by_id.pop(session_id, None)
+            if slot is None:
+                raise KeyError(f"unknown session id {session_id!r}")
+            self._slots.remove(slot)
+            return len(slot.queue)
+
+    def submit(self, session_id: str, item: FrameItem) -> bool:
+        """Public non-blocking ingestion path for externally-owned sessions.
+
+        Enqueues one produced frame item exactly as the pump would —
+        bounded queue, drop-oldest backpressure, per-session and fleet
+        drop counters — and wakes a worker. Returns True when the frame
+        was accepted without shedding, False when the oldest queued
+        frame had to be dropped to make room. Never blocks on a full
+        queue and is safe to call from any thread (including an asyncio
+        event loop thread).
+        """
+        with self._cond:
+            slot = self._by_id.get(session_id)
+        if slot is None:
+            raise KeyError(f"unknown session id {session_id!r}")
+        return not self._enqueue(slot, item)
+
+    def start(self) -> None:
+        """Start the worker pool without a pump (serve mode).
+
+        Pair with :meth:`stop`. Frames arrive through :meth:`submit`;
+        sessions through :meth:`attach`.
+        """
+        with self._cond:
+            if self._pumping or self._serve_threads:
+                raise RuntimeError("scheduler already running")
+            self._pumping = True
+        self._serve_threads = [
+            threading.Thread(target=self._worker, name=f"fleet-serve-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for t in self._serve_threads:
+            t.start()
+
+    def stop(self) -> None:
+        """Drain every queue, then stop and join the serve-mode workers.
+
+        Attached sessions are *not* closed — they are externally owned.
+        Idempotent: stopping a scheduler that is not serving is a no-op.
+        """
+        if not self._serve_threads:
+            return
+        with self._cond:
+            self._pumping = False
+            self._cond.notify_all()
+        for t in self._serve_threads:
+            t.join()
+        self._serve_threads = []
+
+    def drained(self, session_id: str) -> bool:
+        """True when a session's queue is empty and no worker holds it."""
+        with self._cond:
+            slot = self._by_id.get(session_id)
+            if slot is None:
+                raise KeyError(f"unknown session id {session_id!r}")
+            return not slot.queue and not slot.claimed
+
+    def idle(self) -> bool:
+        """True when every queue is empty and every slot unclaimed."""
+        with self._cond:
+            return all(not s.queue and not s.claimed for s in self._slots)
 
     # ----------------------------------------------------------------- workers
     def _claim(self) -> _SessionSlot | None:

@@ -226,6 +226,17 @@ class DetectorSession:
         return self._cursor * self._period_s
 
     @property
+    def generation(self) -> int:
+        """Current detector incarnation (bumped at every bring-up).
+
+        External frame producers (the gateway's ingestion path) stamp
+        queued items with this so a restart mid-queue flushes the stale
+        backlog exactly as the pump's :meth:`produce` tagging does.
+        """
+        with self._lock:
+            return self._generation
+
+    @property
     def blink_times_s(self) -> list[float]:
         """Device-time stamps of every detected blink."""
         return [e.time_s for e in self.blink_events]

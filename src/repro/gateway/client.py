@@ -1,0 +1,209 @@
+"""Asyncio vehicle-side client for the gateway wire protocol.
+
+:class:`GatewayClient` is one simulated vehicle: it connects, declares
+itself with HELLO, streams FRAME messages, and consumes the server's
+completion-watermark ACKs. Because an ack's ``seq`` field means "every
+frame with a lower sequence number has fully left the server's
+pipeline" (detected or shed), the client measures genuine end-to-end
+latency — socket out to detector done — purely from its own clock, with
+no trust in server-side timing.
+
+The client is also the protocol's reference consumer: the load
+generator (:mod:`~repro.gateway.loadgen`), the smoke-test harness and
+the example all drive the server through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.gateway.protocol import (
+    Ack,
+    Bye,
+    Drain,
+    Frame,
+    Hello,
+    ProtocolError,
+    WireDecoder,
+    encode_frame_payload,
+    encode_message,
+)
+
+__all__ = ["GatewayClient"]
+
+_READ_BYTES = 1 << 16
+
+
+class GatewayClient:
+    """One vehicle's connection to a :class:`~repro.gateway.server.GatewayServer`.
+
+    Use :meth:`connect` to build one; then the message-per-method API:
+    :meth:`hello` → :meth:`send_frame` (many) → :meth:`drain` /
+    :meth:`bye` → :meth:`close`. All methods must be called from the
+    event loop that created the client.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = WireDecoder()
+        self.session_index = 0
+        #: (seq, perf-counter send stamp) for frames not yet covered by
+        #: a completion ack, in send order.
+        self._inflight: deque[tuple[int, float]] = deque()
+        #: End-to-end latency samples (seconds), one per completion-ack
+        #: watermark advance; the newest covered frame is the sample.
+        self.latency_samples_s: list[float] = []
+        #: Receipt watermark from the latest ack (highest seq received).
+        self.acked_received = -1
+        #: Completion count from the latest ack.
+        self.acked_completed = 0
+        #: Server-reported processed count from the latest ack.
+        self.server_processed = 0
+        self._hello_reply: asyncio.Future[Ack] | None = None
+        self._drain_reply: asyncio.Future[Drain] | None = None
+        self._bye_reply: asyncio.Future[Bye] | None = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "GatewayClient":
+        """Open a TCP connection to the gateway."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # --------------------------------------------------------------- messages
+    async def hello(
+        self,
+        session_id: str,
+        n_bins: int,
+        frame_rate_hz: float,
+        dtype: str = "c64",
+    ) -> int:
+        """Declare the vehicle; returns the server-assigned session index."""
+        if self._hello_reply is not None:
+            raise RuntimeError("hello already sent")
+        self._hello_reply = asyncio.get_running_loop().create_future()
+        self._dtype = dtype
+        self._writer.write(
+            encode_message(
+                Hello(
+                    session_id=session_id,
+                    n_bins=n_bins,
+                    frame_rate_hz=frame_rate_hz,
+                    dtype=dtype,
+                )
+            )
+        )
+        await self._writer.drain()
+        reply = await self._hello_reply
+        self.session_index = reply.session
+        return reply.session
+
+    async def send_frame(self, seq: int, timestamp_s: float, frame: np.ndarray) -> None:
+        """Stream one frame; ``timestamp_s`` is the device-time stamp."""
+        payload = encode_frame_payload(frame, self._dtype)
+        self._inflight.append((seq, time.perf_counter()))
+        self._writer.write(
+            encode_message(
+                Frame(
+                    session=self.session_index,
+                    seq=seq,
+                    timestamp_s=timestamp_s,
+                    payload=payload,
+                )
+            )
+        )
+        await self._writer.drain()
+
+    async def drain(self) -> dict[str, Any]:
+        """Barrier: resolve when every sent frame left the server pipeline.
+
+        Returns the server's ingest statistics (received / processed /
+        dropped_queue / crc_failures / blinks / latency summary).
+        """
+        self._drain_reply = asyncio.get_running_loop().create_future()
+        self._writer.write(encode_message(Drain(session=self.session_index)))
+        await self._writer.drain()
+        reply = await self._drain_reply
+        self._drain_reply = None
+        return dict(reply.stats or {})
+
+    async def bye(self) -> None:
+        """Orderly goodbye: server drains, finalizes the recording, replies."""
+        self._bye_reply = asyncio.get_running_loop().create_future()
+        self._writer.write(encode_message(Bye(session=self.session_index)))
+        await self._writer.drain()
+        await self._bye_reply
+        self._bye_reply = None
+
+    async def close(self) -> None:
+        """Tear down the socket and the background reader."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # peer already gone
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------ reader side
+    async def _read_loop(self) -> None:
+        while True:
+            data = await self._reader.read(_READ_BYTES)
+            if not data:
+                self._fail_waiters(ConnectionError("gateway closed the connection"))
+                return
+            for msg in self._decoder.feed(data):
+                self._dispatch(msg)
+
+    def _dispatch(self, msg: object) -> None:
+        if isinstance(msg, Ack):
+            if self._hello_reply is not None and not self._hello_reply.done():
+                self._hello_reply.set_result(msg)
+                return
+            self._on_ack(msg)
+        elif isinstance(msg, Drain):
+            if self._drain_reply is not None and not self._drain_reply.done():
+                self._drain_reply.set_result(msg)
+        elif isinstance(msg, Bye):
+            if self._bye_reply is not None and not self._bye_reply.done():
+                self._bye_reply.set_result(msg)
+        else:
+            self._fail_waiters(ProtocolError(f"unexpected message from server: {msg!r}"))
+
+    def _on_ack(self, ack: Ack) -> None:
+        self.acked_received = max(self.acked_received, ack.received_seq)
+        self.server_processed = max(self.server_processed, ack.processed)
+        if ack.seq <= self.acked_completed:
+            return  # receipt-only ack; the completion watermark held
+        self.acked_completed = ack.seq
+        now = time.perf_counter()
+        newest: float | None = None
+        while self._inflight and self._inflight[0][0] < ack.seq:
+            newest = self._inflight.popleft()[1]
+        if newest is not None:
+            # One sample per watermark advance, taken on its *newest*
+            # covered frame: older frames finished earlier than this ack
+            # shows, so sampling them would inflate the tail.
+            self.latency_samples_s.append(now - newest)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for waiter in (self._hello_reply, self._drain_reply, self._bye_reply):
+            if waiter is not None and not waiter.done():
+                waiter.set_exception(exc)

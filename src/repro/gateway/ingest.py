@@ -1,0 +1,103 @@
+"""Network-fed detector sessions.
+
+:class:`IngestSession` is a :class:`~repro.fleet.session.DetectorSession`
+whose frames arrive over a socket instead of from a locally emulated
+chip. The supervised lifecycle, the detector, the metrics, and the
+worker-side :meth:`~repro.fleet.session.DetectorSession.process_batch`
+path are all inherited unchanged — the vehicle's radar and SPI wire
+simply live on the *other* end of the connection, so the produce side
+here is inert and the gateway feeds the scheduler through
+:meth:`~repro.fleet.scheduler.FleetScheduler.submit` with items built by
+:meth:`IngestSession.make_item`.
+
+Because the frames reach the detector bit-for-bit (the wire format
+carries the driver's complex rows verbatim, CRC-protected), an ingest
+session produces byte-identical detection output to a local replay of
+the same recording — the property the gateway's end-to-end equality
+test pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.fleet.events import FleetEvent
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.session import DetectorSession, FrameItem, SessionConfig
+
+__all__ = ["IngestSession"]
+
+
+class IngestSession(DetectorSession):
+    """A supervised detector session whose frames arrive over the network.
+
+    Parameters
+    ----------
+    session_id:
+        Stable identifier, from the connection's HELLO.
+    n_bins:
+        Fast-time bins per frame, from the HELLO geometry.
+    frame_rate_hz:
+        The *declared* slow-time frame rate. The detector is built with
+        exactly this rate (not the nearest register quantisation), so
+        blink apex timestamps match a local replay of the same trace.
+    config / metrics / sink:
+        As for :class:`~repro.fleet.session.DetectorSession`.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        n_bins: int,
+        frame_rate_hz: float,
+        config: SessionConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        sink: Callable[[FleetEvent], None] | None = None,
+    ) -> None:
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        if not frame_rate_hz > 0:
+            raise ValueError(f"frame_rate_hz must be positive, got {frame_rate_hz}")
+        # The emulated chip behind the inherited machinery needs *a*
+        # world; one silent frame is enough — serve mode never pumps,
+        # so the placeholder is never sampled.
+        placeholder = np.zeros((1, n_bins), dtype=np.complex64)
+        div = min(255, max(1, round(100.0 / frame_rate_hz)))
+        base = config if config is not None else SessionConfig()
+        super().__init__(
+            session_id,
+            placeholder,
+            config=replace(base, frame_rate_div=div),
+            metrics=metrics,
+            sink=sink,
+        )
+        # The declared rate wins over the register-quantised one: blink
+        # apex arithmetic divides by this, and it must match the far
+        # side's recording exactly.
+        self.frame_rate_hz = float(frame_rate_hz)
+        self._period_s = 1.0 / self.frame_rate_hz
+
+    def produce(self) -> FrameItem | None:
+        """Ingest sessions have no local frame source; the pump gets None.
+
+        Pending lifecycle requests (:meth:`request_restart` /
+        :meth:`request_stop`) still go through the inherited machinery —
+        a manual restart must bump the generation so queued frames from
+        before it are flushed as stale, exactly as for a pumped session.
+        """
+        if self._restart_requested or self._stop_requested:
+            return super().produce()
+        return None
+
+    def make_item(self, timestamp_s: float, frame: np.ndarray) -> FrameItem:
+        """Build a scheduler queue item for one wire frame.
+
+        Stamps the item with the current detector generation — the same
+        tagging :meth:`~repro.fleet.session.DetectorSession.produce`
+        performs — so frames queued before a restart are flushed as
+        stale instead of being fed to the reborn detector.
+        """
+        return (self.generation, timestamp_s, frame)

@@ -1,0 +1,542 @@
+"""Asyncio TCP ingest server: many vehicle connections, one fleet.
+
+:class:`GatewayServer` is the network front door of the detection
+service. Each accepted connection speaks the
+:mod:`~repro.gateway.protocol` wire format: a HELLO declares the
+vehicle, every FRAME carries one driver frame with its device-time
+timestamp, and the server multiplexes all of them into a single
+:class:`~repro.fleet.scheduler.FleetScheduler` worker pool through the
+scheduler's public non-blocking :meth:`~repro.fleet.scheduler.FleetScheduler.submit`
+path — so socket ingest gets exactly the fleet's bounded queues,
+drop-oldest backpressure, and metrics.
+
+Operational properties:
+
+- **Per-connection fault isolation.** A connection handler that throws
+  (malformed traffic, a decode bug, a dropped socket) is counted,
+  cleaned up, and closed; the accept loop and every other vehicle keep
+  running.
+- **Recording tee.** With ``record_dir`` set, every ingested frame is
+  appended to a per-session ``.rst`` recording *before* it is handed to
+  the scheduler (the store's write-before-yield discipline), and the
+  finalized file is registered in the directory's
+  :class:`~repro.store.catalog.Catalog` — the gateway doubles as a
+  fleet-wide trace collector.
+- **Completion-watermark ACKs.** A per-connection pump acknowledges the
+  highest sequence number that has fully left the pipeline (detected or
+  shed), which is what lets a remote client measure true end-to-end
+  latency without the server timing anything on its behalf.
+- **Graceful drain.** :meth:`shutdown` (wired to SIGTERM/SIGINT by
+  :meth:`run_until_signal`) stops accepting, lets queued frames drain,
+  stops the workers, and finalizes every recording.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.scheduler import FleetScheduler
+from repro.fleet.session import SessionConfig
+from repro.gateway.ingest import IngestSession
+from repro.gateway.protocol import (
+    Ack,
+    Bye,
+    Drain,
+    Frame,
+    Hello,
+    Message,
+    ProtocolError,
+    WireDecoder,
+    decode_frame_payload,
+    encode_message,
+)
+from repro.store.record import Recorder
+
+__all__ = ["GatewayServer"]
+
+#: Socket read size: large enough to carry dozens of frames per
+#: syscall, small enough to keep per-connection memory modest.
+_READ_BYTES = 1 << 16
+
+#: Cadence of the per-connection completion-watermark ack pump.
+_ACK_INTERVAL_S = 0.002
+
+#: Poll cadence while waiting for a session's queue to drain.
+_DRAIN_POLL_S = 0.002
+
+#: Read timeout: the cadence at which an idle connection loop checks
+#: the server's draining flag (a graceful shutdown must consume bytes
+#: already in flight before the connection ends, so handlers are asked
+#: to finish, not cancelled mid-read).
+_READ_POLL_S = 0.05
+
+#: How long :meth:`GatewayServer.shutdown` waits for handlers to finish
+#: the graceful way before cancelling the stragglers.
+_SHUTDOWN_GRACE_S = 5.0
+
+
+class _Connection:
+    """Server-side state for one vehicle connection."""
+
+    def __init__(self, server: "GatewayServer", peer: str) -> None:
+        self.server = server
+        self.peer = peer
+        self.decoder = WireDecoder()
+        self.session: IngestSession | None = None
+        self.session_index = 0
+        self.dtype = "c64"
+        self.recorder: Recorder | None = None
+        #: Highest sequence number received on this connection.
+        self.received_seq = -1
+        #: Frames accepted onto the session queue (includes later drops).
+        self.submitted = 0
+        #: Frames shed by drop-oldest backpressure at submit time.
+        self.dropped_queue = 0
+        #: Frames rejected before the queue (bad payload size/dtype).
+        self.bad_frames = 0
+        #: Sequence numbers of submitted frames, in submit order, not
+        #: yet covered by a completion ack.
+        self.pending_seqs: list[int] = []
+        self._pending_start = 0
+        #: Completion count already acked (acks carry counts, not
+        #: indices, so "nothing done yet" is a plain 0 on an unsigned
+        #: wire field).
+        self.acked_completed = 0
+
+    # ------------------------------------------------------------ accounting
+    def consumed_frames(self) -> int:
+        """Frames that have left the pipeline (processed or shed).
+
+        Queue order is FIFO with drop-oldest, so consumption always
+        takes the *front* of the submit order: the count alone
+        identifies exactly which submitted frames are done.
+        """
+        session = self.session
+        if session is None:
+            return 0
+        return session.frames_processed + self.dropped_queue
+
+    def completion_watermark(self) -> int | None:
+        """Wire watermark: one past the seq of the newest finished frame.
+
+        Returns None when nothing new finished since the last call.
+        """
+        done = self.consumed_frames() - self._pending_start
+        if done <= 0:
+            return None
+        index = min(done, len(self.pending_seqs)) - 1
+        watermark = self.pending_seqs[index] + 1
+        # Retire the covered prefix so the list stays O(queue depth).
+        del self.pending_seqs[: index + 1]
+        self._pending_start += index + 1
+        return watermark
+
+    def stats(self) -> dict[str, Any]:
+        """Ingest statistics for the DRAIN reply."""
+        session = self.session
+        return {
+            "received": self.received_seq + 1 if self.received_seq >= 0 else 0,
+            "submitted": self.submitted,
+            "processed": 0 if session is None else session.frames_processed,
+            "dropped_queue": self.dropped_queue,
+            "bad_frames": self.bad_frames,
+            "crc_failures": self.decoder.crc_failures,
+            "resync_bytes": self.decoder.resync_bytes,
+            "blinks": 0 if session is None else len(session.blink_events),
+            "latency": (
+                {}
+                if session is None
+                else session.metrics.histogram(
+                    f"session.{session.session_id}.latency_s"
+                ).snapshot()
+            ),
+        }
+
+
+class GatewayServer:
+    """Streaming ingest service over a :class:`FleetScheduler` worker pool.
+
+    Parameters
+    ----------
+    host / port:
+        Listen address; port 0 binds an ephemeral port (see
+        :attr:`port` after :meth:`start`).
+    workers / queue_depth:
+        Scheduler worker pool size and per-session queue bound (the
+        backpressure threshold: a client staying below it loses no
+        frames).
+    record_dir:
+        When set, every session's ingested traffic is recorded to
+        ``<record_dir>/<session_id>.rst`` and registered in that
+        directory's catalog on session close.
+    session_config / metrics:
+        Shared fleet policy and registry; the registry also backs the
+        HTTP metrics endpoint.
+    ack_every:
+        Send a receipt ack at least every this many frames even when
+        the completion watermark has not moved (keeps a slow consumer's
+        client informed).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 4,
+        queue_depth: int = 4096,
+        record_dir: str | Path | None = None,
+        session_config: SessionConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        ack_every: int = 64,
+    ) -> None:
+        if ack_every < 1:
+            raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        self.host = host
+        self._requested_port = port
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.session_config = session_config
+        self.record_dir = Path(record_dir) if record_dir is not None else None
+        self.ack_every = ack_every
+        self.queue_depth = queue_depth
+        self.scheduler = FleetScheduler(
+            [], workers=workers, queue_depth=queue_depth, metrics=self.metrics
+        )
+        self.sessions: dict[str, IngestSession] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task[None]] = set()
+        self._next_session_index = 1
+        self._draining = False
+        self._started = False
+
+    # ---------------------------------------------------------------- runtime
+    @property
+    def port(self) -> int:
+        """The bound listen port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def started(self) -> bool:
+        """True between :meth:`start` and :meth:`shutdown`."""
+        return self._started
+
+    @property
+    def ready(self) -> bool:
+        """Readiness for traffic: started and not draining."""
+        return self._started and not self._draining
+
+    async def start(self) -> None:
+        """Bind the socket and start the scheduler's worker pool."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.host, port=self._requested_port
+        )
+        self._started = True
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, drain queues, stop workers.
+
+        Idempotent. Open connections are closed (their queued frames
+        are processed first), recordings finalized, sessions closed.
+        """
+        if not self._started:
+            return
+        self._draining = True
+        server = self._server
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        # Closing the listening socket does not close accepted
+        # connections. Handlers notice the draining flag once their
+        # socket goes quiet and finish on their own (consuming every
+        # byte already in flight); only stragglers past the grace
+        # window are cancelled.
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                list(self._connections), timeout=_SHUTDOWN_GRACE_S
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        # Let every queued frame reach its detector before the pool stops.
+        while not self.scheduler.idle():
+            await asyncio.sleep(_DRAIN_POLL_S)
+        self.scheduler.stop()
+        self._server = None
+        self._started = False
+        self._draining = False
+
+    async def run_until_signal(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain and shut down."""
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        if sys.platform != "win32":
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.shutdown()
+
+    def health(self) -> dict[str, Any]:
+        """JSON-ready health probe payload (the HTTP ``/healthz`` body)."""
+        return {
+            "status": "draining" if self._draining else ("ok" if self._started else "stopped"),
+            "ready": self.ready,
+            "connections_open": len(self._connections),
+            "sessions": {
+                sid: session.health() for sid, session in sorted(self.sessions.items())
+            },
+        }
+
+    # ------------------------------------------------------------ connections
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        conn = _Connection(self, peer=str(peername))
+        self.metrics.counter("gateway.connections_opened").inc()
+        self.metrics.gauge("gateway.connections_open").add(1)
+        ack_pump: asyncio.Task[None] | None = None
+        try:
+            ack_pump = asyncio.ensure_future(self._ack_pump(conn, writer))
+            await self._connection_loop(conn, reader, writer)
+        except asyncio.CancelledError:
+            # Server shutdown: the frames already submitted will drain;
+            # the connection itself ends here.
+            pass
+        except (ConnectionError, OSError, ProtocolError):
+            self.metrics.counter("gateway.connection_errors").inc()
+        except Exception:  # reprolint: disable=except-hygiene
+            # Fault isolation: one broken connection must never take
+            # down the accept loop or another vehicle's stream.
+            self.metrics.counter("gateway.connection_errors").inc()
+        finally:
+            if ack_pump is not None:
+                ack_pump.cancel()
+            await self._cleanup_connection(conn, writer)
+
+    async def _connection_loop(
+        self, conn: _Connection, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        crc_seen = 0
+        while True:
+            try:
+                data = await asyncio.wait_for(reader.read(_READ_BYTES), timeout=_READ_POLL_S)
+            except asyncio.TimeoutError:
+                if self._draining:
+                    # Graceful shutdown: the socket went quiet and every
+                    # in-flight byte has been consumed — end the
+                    # connection (cleanup drains and finalizes).
+                    return
+                continue
+            if not data:
+                return
+            messages = conn.decoder.feed(data)
+            if conn.decoder.crc_failures > crc_seen:
+                self.metrics.counter("gateway.crc_failures").inc(
+                    conn.decoder.crc_failures - crc_seen
+                )
+                crc_seen = conn.decoder.crc_failures
+            for msg in messages:
+                if not await self._handle_message(conn, msg, writer):
+                    return
+
+    async def _handle_message(
+        self, conn: _Connection, msg: Message, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Dispatch one decoded message; False ends the connection."""
+        if isinstance(msg, Hello):
+            self._handle_hello(conn, msg)
+            writer.write(
+                encode_message(Ack(session=conn.session_index, seq=0, received_seq=0, processed=0))
+            )
+            await writer.drain()
+            return True
+        if isinstance(msg, Frame):
+            self._handle_frame(conn, msg)
+            return True
+        if isinstance(msg, Drain):
+            await self._wait_drained(conn)
+            writer.write(
+                encode_message(Drain(session=conn.session_index, stats=conn.stats()))
+            )
+            await writer.drain()
+            return True
+        if isinstance(msg, Bye):
+            await self._wait_drained(conn)
+            self._finalize_session(conn)
+            writer.write(encode_message(Bye(session=conn.session_index)))
+            await writer.drain()
+            return False
+        # A client has no business sending ACKs; count and ignore.
+        self.metrics.counter("gateway.unexpected_messages").inc()
+        return True
+
+    def _handle_hello(self, conn: _Connection, hello: Hello) -> None:
+        if conn.session is not None:
+            raise ProtocolError("duplicate HELLO on one connection")
+        if hello.session_id in self.sessions:
+            raise ProtocolError(f"session id {hello.session_id!r} already connected")
+        session = IngestSession(
+            hello.session_id,
+            n_bins=hello.n_bins,
+            frame_rate_hz=hello.frame_rate_hz,
+            config=self.session_config,
+            metrics=self.metrics,
+        )
+        session.start()
+        recorder: Recorder | None = None
+        if self.record_dir is not None:
+            self.record_dir.mkdir(parents=True, exist_ok=True)
+            recorder = Recorder(
+                self.record_dir / f"{hello.session_id}.rst",
+                n_bins=hello.n_bins,
+                frame_rate_hz=hello.frame_rate_hz,
+                dtype="complex64" if hello.dtype == "c64" else "complex128",
+                metadata={"source": "gateway", "session_id": hello.session_id},
+            )
+        self.scheduler.attach(session)
+        self.sessions[hello.session_id] = session
+        conn.session = session
+        conn.recorder = recorder
+        conn.dtype = hello.dtype
+        conn.session_index = self._next_session_index
+        self._next_session_index = (self._next_session_index % 0xFFFF) + 1
+        self.metrics.counter("gateway.sessions_opened").inc()
+
+    def _handle_frame(self, conn: _Connection, msg: Frame) -> None:
+        session = conn.session
+        if session is None:
+            raise ProtocolError("FRAME before HELLO")
+        try:
+            frame = decode_frame_payload(msg.payload, session.n_bins, conn.dtype)
+        except ProtocolError:
+            conn.bad_frames += 1
+            self.metrics.counter("gateway.bad_frames").inc()
+            return
+        conn.received_seq = max(conn.received_seq, msg.seq)
+        if conn.recorder is not None:
+            # Write-before-submit: anything the detector sees is already
+            # on its way to disk.
+            conn.recorder.append(frame, msg.timestamp_s)
+        accepted = self.scheduler.submit(
+            session.session_id, session.make_item(msg.timestamp_s, frame)
+        )
+        conn.submitted += 1
+        conn.pending_seqs.append(msg.seq)
+        if not accepted:
+            conn.dropped_queue += 1
+        self.metrics.counter("gateway.frames_received").inc()
+
+    async def _ack_pump(self, conn: _Connection, writer: asyncio.StreamWriter) -> None:
+        """Push completion-watermark acks on a fixed cadence.
+
+        The watermark advances as the worker pool consumes the session's
+        queue; an ack also goes out when the receipt count ran ahead by
+        ``ack_every`` frames so the client's flow-control view never
+        staleness-locks.
+        """
+        last_received_acked = -1
+        while True:
+            await asyncio.sleep(_ACK_INTERVAL_S)
+            if conn.session is None:
+                continue
+            watermark = conn.completion_watermark()
+            overdue = conn.received_seq - last_received_acked >= self.ack_every
+            if watermark is None and not overdue:
+                continue
+            if watermark is not None:
+                conn.acked_completed = max(conn.acked_completed, watermark)
+            last_received_acked = conn.received_seq
+            writer.write(
+                encode_message(
+                    Ack(
+                        session=conn.session_index,
+                        seq=conn.acked_completed,
+                        received_seq=max(conn.received_seq, 0),
+                        processed=conn.session.frames_processed,
+                    )
+                )
+            )
+            await writer.drain()
+
+    async def _wait_drained(self, conn: _Connection) -> None:
+        session = conn.session
+        if session is None:
+            return
+        while not self.scheduler.drained(session.session_id):
+            await asyncio.sleep(_DRAIN_POLL_S)
+
+    # -------------------------------------------------------------- lifecycle
+    def _finalize_session(self, conn: _Connection) -> None:
+        """Close one session and its recording; register the trace."""
+        session = conn.session
+        if session is None:
+            return
+        conn.session = None
+        recorder = conn.recorder
+        conn.recorder = None
+        try:
+            self.scheduler.detach(session.session_id)
+        except KeyError:
+            pass  # already detached by a racing shutdown path
+        self.sessions.pop(session.session_id, None)
+        session.close()
+        if recorder is not None:
+            self._finalize_recording(session.session_id, recorder)
+
+    def _finalize_recording(self, session_id: str, recorder: Recorder) -> None:
+        from repro.store.catalog import Catalog
+
+        path = recorder.path
+        if recorder.n_frames == 0:
+            # Nothing ingested: abandon instead of registering an empty
+            # recording.
+            recorder.close(finalize=False)
+            path.unlink(missing_ok=True)
+            return
+        recorder.close()
+        if self.record_dir is not None:
+            Catalog(self.record_dir).add(path, name=session_id)
+        self.metrics.counter("gateway.recordings_finalized").inc()
+
+    async def _cleanup_connection(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        session = conn.session
+        if session is not None:
+            # Connection died without BYE: drain what was queued so the
+            # recording and the detector agree, then finalize.
+            try:
+                await self._wait_drained(conn)
+            except KeyError:
+                pass
+            self._finalize_session(conn)
+        self.metrics.gauge("gateway.connections_open").add(-1)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass  # peer already gone; nothing left to flush

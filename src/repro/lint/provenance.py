@@ -41,6 +41,13 @@ _HANDLE_CTORS = frozenset({"SpiBus", "XepDriver", "FrameStream", "UwbRadarDevice
 #: mmap, a recorder owns a writer.
 _STORE_CTORS = frozenset({"TraceWriter", "TraceReader", "Recorder"})
 
+#: Network-service handles from ``repro.gateway``: a server left
+#: unreleased keeps its listen socket and worker pool, a client keeps a
+#: connection and a background reader task. Release spellings differ per
+#: type (``shutdown`` for the ingest server, ``stop`` for the HTTP
+#: endpoint, ``close`` for clients), so the kind accepts all three.
+_GATEWAY_CTORS = frozenset({"GatewayServer", "GatewayClient", "MetricsHttpServer"})
+
 #: Resource kinds the lifecycle rule enforces, with the method names
 #: that count as releasing them on a path.
 RELEASE_METHODS: dict[str, frozenset[str]] = {
@@ -48,6 +55,7 @@ RELEASE_METHODS: dict[str, frozenset[str]] = {
     "session": frozenset({"close"}),
     "file": frozenset({"close"}),
     "store": frozenset({"close"}),
+    "gateway": frozenset({"close", "shutdown", "stop"}),
 }
 
 #: Kinds with a known release protocol (the lifecycle rule's scope).
@@ -62,6 +70,7 @@ KIND_NOUN: dict[str, str] = {
     "session": "detector session",
     "file": "file handle",
     "store": "trace-store handle",
+    "gateway": "gateway service handle",
 }
 
 
@@ -80,10 +89,12 @@ def constructor_kind(call: ast.Call) -> str | None:
         return "lock"
     if last in _HANDLE_CTORS:
         return "handle"
-    if last == "DetectorSession":
+    if last in ("DetectorSession", "IngestSession"):
         return "session"
     if last in _STORE_CTORS:
         return "store"
+    if last in _GATEWAY_CTORS:
+        return "gateway"
     if dotted == "open":
         return "file"
     return None

@@ -1,8 +1,10 @@
-"""Resource-lifecycle dataflow rule for ``repro.hardware`` / ``repro.fleet``.
+"""Resource-lifecycle dataflow rule for the service-layer packages.
 
 A :class:`~repro.fleet.session.DetectorSession`, a ``threading.Thread``,
-or an ``open()`` handle acquired in the service layer must be released
-(``close()`` / ``join()``) on **every** CFG path out of the function —
+a gateway server/client handle, or an ``open()`` handle acquired in
+``repro.hardware`` / ``repro.fleet`` / ``repro.store`` /
+``repro.gateway`` must be released
+(``close()`` / ``join()`` / ``shutdown()``) on **every** CFG path out of the function —
 including the exceptional edges the CFG models inside ``try`` blocks and
 explicit ``raise`` statements — unless:
 
@@ -138,12 +140,13 @@ class ResourceLifecycleRule(LintRule):
 
     name = "resource-leak"
     summary = (
-        "resources acquired in repro.hardware/repro.fleet/repro.store must "
-        "be closed/joined on every CFG path, with-governed, or moved"
+        "resources acquired in repro.hardware/repro.fleet/repro.store/"
+        "repro.gateway must be closed/joined on every CFG path, "
+        "with-governed, or moved"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
-        if not ctx.in_package("hardware", "fleet", "store"):
+        if not ctx.in_package("hardware", "fleet", "store", "gateway"):
             return
         moves_by_line = {
             line: pragmas.moves for line, pragmas in ctx.pragmas.items() if pragmas.moves

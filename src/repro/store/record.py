@@ -63,6 +63,16 @@ class Recorder:
         return self._writer.content_hash()
 
     # ---------------------------------------------------------------- record
+    def append(self, frame: np.ndarray, timestamp_s: float | None = None) -> None:
+        """Record one frame pushed by the caller (the gateway's ingest tee).
+
+        The pull-based :meth:`tee`/:meth:`drain` wrap this; push-based
+        producers — an asyncio connection handler decoding frames off a
+        socket — call it directly, one frame per wire message, before
+        the frame is handed downstream.
+        """
+        self._writer.append(frame, timestamp_s)
+
     def tee(
         self, stream: Iterable[tuple[float, np.ndarray]]
     ) -> Iterator[tuple[float, np.ndarray]]:

@@ -69,8 +69,10 @@ class TestValidation:
             FleetScheduler([FakeSession("a", 1)], workers=0)
         with pytest.raises(ValueError):
             FleetScheduler([FakeSession("a", 1)], queue_depth=0)
+        # Empty construction is legal (serve mode attaches sessions at
+        # runtime); pumping an empty fleet is the error.
         with pytest.raises(ValueError):
-            FleetScheduler([])
+            FleetScheduler([]).run()
 
 
 class TestScheduling:

@@ -1,0 +1,40 @@
+"""Gateway-suite fixtures: one small simulated drive as a ``.rst`` file.
+
+The gateway tests replay a realistic labelled capture (blinks included)
+through sockets; simulation and file I/O are paid once per session.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.physio import ParticipantProfile
+from repro.sim import Scenario, simulate
+from repro.store.writer import TraceWriter
+
+
+@pytest.fixture(scope="session")
+def gateway_trace():
+    """A 12 s parked awake drive: cheap, several blinks, no restarts."""
+    scenario = Scenario(
+        participant=ParticipantProfile("GWT"),
+        road="parked",
+        state="awake",
+        duration_s=12.0,
+        allow_posture_shifts=False,
+    )
+    return simulate(scenario, seed=41)
+
+
+@pytest.fixture(scope="session")
+def gateway_trace_path(gateway_trace, tmp_path_factory) -> Path:
+    """The same drive as an ``.rst`` recording on disk."""
+    path = tmp_path_factory.mktemp("gateway") / "drive.rst"
+    with TraceWriter(
+        path, n_bins=gateway_trace.n_bins, frame_rate_hz=gateway_trace.frame_rate_hz
+    ) as writer:
+        for i in range(gateway_trace.n_frames):
+            writer.append(gateway_trace.frames[i], i / gateway_trace.frame_rate_hz)
+    return path

@@ -1,0 +1,283 @@
+"""Wire protocol: round-trips, incremental decoding, and hostile input.
+
+The fuzz battery encodes the decoder's survival contract: *no byte
+sequence may make it raise or stall*, corruption is counted not thrown,
+and a valid message following garbage is always recovered via magic
+resync.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.protocol import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    MSG_FRAME,
+    Ack,
+    Bye,
+    Drain,
+    Frame,
+    Hello,
+    ProtocolError,
+    WireDecoder,
+    decode_frame_payload,
+    encode_frame_payload,
+    encode_message,
+)
+
+
+def _messages() -> list:
+    rng = np.random.default_rng(3)
+    frame = (rng.standard_normal(16) + 1j * rng.standard_normal(16)).astype(np.complex64)
+    return [
+        Hello(session_id="v00", n_bins=16, frame_rate_hz=25.0),
+        Frame(session=1, seq=7, timestamp_s=0.28, payload=encode_frame_payload(frame)),
+        Ack(session=1, seq=8, received_seq=7, processed=6),
+        Drain(session=1),
+        Drain(session=1, stats={"received": 8, "dropped_queue": 0}),
+        Bye(session=1),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", _messages(), ids=lambda m: type(m).__name__)
+    def test_encode_decode_identity(self, msg):
+        decoder = WireDecoder()
+        out = decoder.feed(encode_message(msg))
+        assert out == [msg]
+        assert decoder.pending_bytes == 0
+        assert decoder.crc_failures == 0
+
+    def test_frame_payload_round_trip_both_dtypes(self):
+        rng = np.random.default_rng(9)
+        frame = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        for dtype, np_dtype in (("c64", np.complex64), ("c128", np.complex128)):
+            typed = frame.astype(np_dtype)
+            back = decode_frame_payload(encode_frame_payload(typed, dtype), 32, dtype)
+            assert back.dtype == np.dtype(np_dtype).newbyteorder("<")
+            np.testing.assert_array_equal(back, typed)
+
+    def test_frame_payload_length_validated(self):
+        with pytest.raises(ProtocolError):
+            decode_frame_payload(b"\x00" * 12, n_bins=16, dtype="c64")
+
+    def test_hello_rejects_bad_fields(self):
+        with pytest.raises(ProtocolError):
+            Hello(session_id="", n_bins=16, frame_rate_hz=25.0)
+        with pytest.raises(ProtocolError):
+            Hello(session_id="x", n_bins=0, frame_rate_hz=25.0)
+        with pytest.raises(ProtocolError):
+            Hello(session_id="x", n_bins=16, frame_rate_hz=0.0)
+        with pytest.raises(ProtocolError):
+            Hello(session_id="x", n_bins=16, frame_rate_hz=25.0, dtype="f32")
+
+    def test_oversized_payload_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_message(
+                Frame(session=0, seq=0, timestamp_s=0.0, payload=b"\x00" * (MAX_PAYLOAD_BYTES + 1))
+            )
+
+
+class TestIncrementalDecoding:
+    def test_byte_at_a_time(self):
+        wire = b"".join(encode_message(m) for m in _messages())
+        decoder = WireDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == _messages()
+        assert decoder.pending_bytes == 0
+
+    def test_interleaved_with_leading_garbage(self):
+        wire = b"\xde\xad\xbe\xef\x00" + b"".join(encode_message(m) for m in _messages())
+        decoder = WireDecoder()
+        out = []
+        for i in range(0, len(wire), 3):
+            out.extend(decoder.feed(wire[i : i + 3]))
+        assert out == _messages()
+        assert decoder.resync_bytes == 5
+
+    def test_truncated_frame_stays_pending(self):
+        wire = encode_message(_messages()[1])
+        decoder = WireDecoder()
+        assert decoder.feed(wire[:-1]) == []
+        assert decoder.pending_bytes == len(wire) - 1
+        assert decoder.feed(wire[-1:]) == [_messages()[1]]
+
+
+class TestCorruption:
+    def test_bit_flip_counts_crc_and_recovers(self):
+        messages = _messages()
+        first = bytearray(encode_message(messages[1]))
+        first[HEADER_BYTES + 3] ^= 0x40  # flip one payload bit
+        decoder = WireDecoder()
+        out = decoder.feed(bytes(first) + encode_message(messages[2]))
+        assert out == [messages[2]]
+        assert decoder.crc_failures == 1
+
+    def test_corrupt_length_field_does_not_stall(self):
+        # Corrupt the length to a huge-but-capped value: the CRC fails
+        # and the decoder must NOT trust the length to skip — the next
+        # message follows immediately and must be recovered.
+        messages = _messages()
+        wire = bytearray(encode_message(messages[3]))
+        struct.pack_into("<I", wire, 24, 512)  # claim 512 payload bytes
+        decoder = WireDecoder()
+        out = decoder.feed(bytes(wire) + encode_message(messages[5]) + b"\x00" * 600)
+        assert messages[5] in out
+        assert decoder.crc_failures >= 1
+
+    def test_oversized_length_counted_and_resynced(self):
+        wire = bytearray(encode_message(_messages()[5]))
+        struct.pack_into("<I", wire, 24, MAX_PAYLOAD_BYTES + 1)
+        decoder = WireDecoder()
+        out = decoder.feed(bytes(wire) + encode_message(_messages()[0]))
+        assert out == [_messages()[0]]
+        assert decoder.oversized == 1
+
+    def test_unknown_type_counted_and_resynced(self):
+        payload = b"xyz"
+        header = struct.pack(
+            "<4sBBHQdII", MAGIC, 99, 0, 0, 0, 0.0, len(payload), zlib.crc32(payload)
+        )
+        decoder = WireDecoder()
+        out = decoder.feed(header + payload + encode_message(_messages()[5]))
+        assert out == [_messages()[5]]
+        assert decoder.unknown_types == 1
+
+    def test_semantic_error_counted_not_raised(self):
+        payload = b"{not json"
+        header = struct.pack(
+            "<4sBBHQdII", MAGIC, 1, 0, 0, 0, 0.0, len(payload), zlib.crc32(payload)
+        )
+        decoder = WireDecoder()
+        assert decoder.feed(header + payload) == []
+        assert decoder.semantic_errors == 1
+
+    def test_bad_ack_payload_is_semantic_error(self):
+        payload = b"\x01\x02"
+        header = struct.pack(
+            "<4sBBHQdII", MAGIC, 3, 0, 1, 4, 0.0, len(payload), zlib.crc32(payload)
+        )
+        decoder = WireDecoder()
+        assert decoder.feed(header + payload) == []
+        assert decoder.semantic_errors == 1
+
+    def test_embedded_magic_in_garbage(self):
+        # Garbage containing magics must not desynchronise a following
+        # valid stream.
+        garbage = MAGIC + b"\x01\x02" + MAGIC + b"\xff" * 40
+        decoder = WireDecoder()
+        out = decoder.feed(garbage + encode_message(_messages()[0]))
+        assert _messages()[0] in out
+
+
+_chunkings = st.integers(min_value=1, max_value=97)
+
+
+class TestFuzz:
+    @given(
+        data=st.lists(
+            st.sampled_from(range(len(_messages()))), min_size=0, max_size=12
+        ),
+        chunk=_chunkings,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_preserves_message_stream(self, data, chunk):
+        messages = _messages()
+        chosen = [messages[i] for i in data]
+        wire = b"".join(encode_message(m) for m in chosen)
+        decoder = WireDecoder()
+        out = []
+        for i in range(0, len(wire), chunk):
+            out.extend(decoder.feed(wire[i : i + chunk]))
+        assert out == chosen
+        assert decoder.pending_bytes == 0
+
+    @given(junk=st.binary(max_size=512), chunk=_chunkings)
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, junk, chunk):
+        decoder = WireDecoder()
+        for i in range(0, len(junk), chunk):
+            decoder.feed(junk[i : i + chunk])
+        # Whatever happened, a fresh valid message must still decode.
+        assert _messages()[0] in decoder.feed(encode_message(_messages()[0]))
+
+    @given(
+        index=st.integers(min_value=0, max_value=255),
+        flip=st.integers(min_value=1, max_value=255),
+        chunk=_chunkings,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_byte_corruption_never_crashes_and_recovers(self, index, flip, chunk):
+        messages = _messages()
+        wire = bytearray(b"".join(encode_message(m) for m in messages))
+        wire[index % len(wire)] ^= flip
+        tail = encode_message(messages[0])
+        decoder = WireDecoder()
+        out = []
+        stream = bytes(wire) + tail
+        for i in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[i : i + chunk]))
+        # A flip in a length field can forge an under-cap payload length
+        # and leave the decoder legitimately waiting for bytes (on a live
+        # socket they would eventually arrive and fail the CRC). Pad the
+        # phantom payload out so the decoder settles before checking
+        # recovery — the worst forgeable claim is just under the 1 MiB
+        # cap, so 17 * 64 KiB always covers it.
+        padding = b"\x00" * 65536
+        for _ in range(17):
+            if decoder.pending_bytes < HEADER_BYTES:
+                break
+            out.extend(decoder.feed(padding))
+        # Once settled, the decoder must accept fresh traffic: feed one
+        # more clean copy and require it to decode.
+        out.extend(decoder.feed(tail))
+        assert out and out[-1] == messages[0]
+
+    @given(junk=st.binary(min_size=HEADER_BYTES, max_size=256))
+    @settings(max_examples=60, deadline=None)
+    def test_junk_between_every_message(self, junk):
+        messages = _messages()
+        decoder = WireDecoder()
+        out = []
+        for msg in messages:
+            out.extend(decoder.feed(junk))
+            out.extend(decoder.feed(encode_message(msg)))
+        # Junk can eat at most the message following it if it ends in a
+        # valid-looking header prefix; every message after clean resync
+        # must appear, in order.
+        positions = [out.index(m) for m in messages if m in out]
+        assert positions == sorted(positions)
+        assert len(positions) >= len(messages) - 1
+
+    def test_corrupt_frame_increments_crc_counter_metric_contract(self):
+        # The server turns decoder.crc_failures deltas into the
+        # gateway.crc_failures metric: the counter must reflect every
+        # rejected payload exactly once.
+        messages = _messages()
+        decoder = WireDecoder()
+        for k in range(5):
+            bad = bytearray(encode_message(messages[1]))
+            bad[HEADER_BYTES + (k % 8)] ^= 0x10
+            decoder.feed(bytes(bad))
+        assert decoder.crc_failures == 5
+
+
+class TestHelloJsonShape:
+    def test_hello_payload_is_sorted_json(self):
+        wire = encode_message(Hello(session_id="v07", n_bins=57, frame_rate_hz=25.0))
+        payload = wire[HEADER_BYTES:]
+        fields = json.loads(payload.decode())
+        assert list(fields) == sorted(fields)
+        assert fields["session_id"] == "v07"
+        assert fields["n_bins"] == 57

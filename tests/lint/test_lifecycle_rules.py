@@ -274,3 +274,108 @@ class TestStoreHandleLeak:
             rel="repro/eval/snippet.py",
         )
         assert "resource-leak" not in names
+
+
+class TestGatewayHandleLeak:
+    GATEWAY = "repro/gateway/snippet.py"
+
+    def test_unreleased_server_flagged(self, linter):
+        # A leaked GatewayServer keeps its listener socket and the
+        # serve-mode worker pool alive past the function.
+        names = linter.rule_names(
+            """
+            from repro.gateway.server import GatewayServer
+
+
+            def build(port):
+                server = GatewayServer(port=port)
+                server.health()
+            """,
+            rel=self.GATEWAY,
+        )
+        assert "resource-leak" in names
+
+    def test_unreleased_http_server_on_early_return_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.gateway.http import MetricsHttpServer
+
+
+            async def expose(registry, skip):
+                http = MetricsHttpServer(registry)
+                await http.start()
+                if skip:
+                    return None
+                await http.stop()
+                return None
+            """,
+            rel=self.GATEWAY,
+        )
+        assert "resource-leak" in names
+
+    def test_shutdown_on_every_path_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.gateway.server import GatewayServer
+
+
+            async def serve(body):
+                server = GatewayServer()
+                await server.start()
+                try:
+                    return await body(server)
+                finally:
+                    await server.shutdown()
+            """,
+            rel=self.GATEWAY,
+        )
+        assert "resource-leak" not in names
+
+    def test_http_stop_is_a_release(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.gateway.http import MetricsHttpServer
+
+
+            async def scrape_once(registry):
+                http = MetricsHttpServer(registry)
+                await http.start()
+                port = http.port
+                await http.stop()
+                return port
+            """,
+            rel=self.GATEWAY,
+        )
+        assert "resource-leak" not in names
+
+    def test_leaked_ingest_session_flagged_as_session(self, linter):
+        findings = linter.findings(
+            """
+            from repro.gateway.ingest import IngestSession
+
+
+            def spawn(sid):
+                session = IngestSession(sid, n_bins=234, frame_rate_hz=25.0)
+                session.start()
+            """,
+            rel=self.GATEWAY,
+        )
+        leaks = [f for f in findings if f.rule == "resource-leak"]
+        assert leaks and "session" in leaks[0].message
+
+    def test_escape_via_attribute_discharges_obligation(self, linter):
+        # Storing the handle on self hands ownership to the object;
+        # release happens in its own lifecycle, not this function.
+        names = linter.rule_names(
+            """
+            from repro.gateway.client import GatewayClient
+
+
+            class Harness:
+                def adopt(self, reader, writer):
+                    client = GatewayClient(reader, writer)
+                    self.client = client
+            """,
+            rel=self.GATEWAY,
+        )
+        assert "resource-leak" not in names
