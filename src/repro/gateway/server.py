@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Any, Callable
 
@@ -208,6 +209,10 @@ class GatewayServer:
             [], workers=workers, queue_depth=queue_depth, metrics=self.metrics
         )
         self.sessions: dict[str, IngestSession] = {}
+        # Serializes catalog registration: session finalizations run on
+        # executor threads and may overlap, but the catalog manifest is
+        # a single shared file (read-modify-write per registration).
+        self._catalog_lock = threading.Lock()
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task[None]] = set()
         self._next_session_index = 1
@@ -271,7 +276,10 @@ class GatewayServer:
         # Let every queued frame reach its detector before the pool stops.
         while not self.scheduler.idle():
             await asyncio.sleep(_DRAIN_POLL_S)
-        self.scheduler.stop()
+        # Stopping the pool joins its worker threads — blocking, so it
+        # runs on an executor to keep the loop (health endpoint, other
+        # servers in-process) live for the duration.
+        await asyncio.get_running_loop().run_in_executor(None, self.scheduler.stop)
         self._server = None
         self._started = False
         self._draining = False
@@ -368,7 +376,7 @@ class GatewayServer:
     ) -> bool:
         """Dispatch one decoded message; False ends the connection."""
         if isinstance(msg, Hello):
-            self._handle_hello(conn, msg)
+            await self._handle_hello(conn, msg)
             writer.write(
                 encode_message(Ack(session=conn.session_index, seq=0, received_seq=0, processed=0))
             )
@@ -386,7 +394,7 @@ class GatewayServer:
             return True
         if isinstance(msg, Bye):
             await self._wait_drained(conn)
-            self._finalize_session(conn)
+            await self._finalize_session(conn)
             writer.write(encode_message(Bye(session=conn.session_index)))
             await writer.drain()
             return False
@@ -394,7 +402,7 @@ class GatewayServer:
         self.metrics.counter("gateway.unexpected_messages").inc()
         return True
 
-    def _handle_hello(self, conn: _Connection, hello: Hello) -> None:
+    async def _handle_hello(self, conn: _Connection, hello: Hello) -> None:
         if conn.session is not None:
             raise ProtocolError("duplicate HELLO on one connection")
         if hello.session_id in self.sessions:
@@ -407,24 +415,43 @@ class GatewayServer:
             metrics=self.metrics,
         )
         session.start()
-        recorder: Recorder | None = None
-        if self.record_dir is not None:
-            self.record_dir.mkdir(parents=True, exist_ok=True)
-            recorder = Recorder(
-                self.record_dir / f"{hello.session_id}.rst",
-                n_bins=hello.n_bins,
-                frame_rate_hz=hello.frame_rate_hz,
-                dtype="complex64" if hello.dtype == "c64" else "complex128",
-                metadata={"source": "gateway", "session_id": hello.session_id},
-            )
-        self.scheduler.attach(session)
+        # Reserve the id before the first await: a racing HELLO with the
+        # same session id must be rejected, not interleaved.
         self.sessions[hello.session_id] = session
+        recorder: Recorder | None = None
+        try:
+            if self.record_dir is not None:
+                # Creating the recording opens (and preallocates) the
+                # .rst file — filesystem work that belongs on a thread,
+                # not the event loop.
+                recorder = await asyncio.get_running_loop().run_in_executor(
+                    None, self._open_recorder, hello
+                )
+            self.scheduler.attach(session)
+        except BaseException:
+            self.sessions.pop(hello.session_id, None)
+            session.close()
+            raise
         conn.session = session
         conn.recorder = recorder
         conn.dtype = hello.dtype
         conn.session_index = self._next_session_index
         self._next_session_index = (self._next_session_index % 0xFFFF) + 1
         self.metrics.counter("gateway.sessions_opened").inc()
+
+    def _open_recorder(self, hello: Hello) -> Recorder:
+        """Create the per-session recording (runs on an executor thread)."""
+        record_dir = self.record_dir
+        if record_dir is None:
+            raise RuntimeError("recording is not enabled")
+        record_dir.mkdir(parents=True, exist_ok=True)
+        return Recorder(
+            record_dir / f"{hello.session_id}.rst",
+            n_bins=hello.n_bins,
+            frame_rate_hz=hello.frame_rate_hz,
+            dtype="complex64" if hello.dtype == "c64" else "complex128",
+            metadata={"source": "gateway", "session_id": hello.session_id},
+        )
 
     def _handle_frame(self, conn: _Connection, msg: Frame) -> None:
         session = conn.session
@@ -490,8 +517,15 @@ class GatewayServer:
             await asyncio.sleep(_DRAIN_POLL_S)
 
     # -------------------------------------------------------------- lifecycle
-    def _finalize_session(self, conn: _Connection) -> None:
-        """Close one session and its recording; register the trace."""
+    async def _finalize_session(self, conn: _Connection) -> None:
+        """Close one session and its recording; register the trace.
+
+        The session/scheduler bookkeeping stays on the loop (other
+        coroutines read ``self.sessions`` and ``conn.session``, and the
+        mutations all land before the first await); only the recording
+        finalization — flush, close, catalog registration, all file IO —
+        is handed to an executor thread.
+        """
         session = conn.session
         if session is None:
             return
@@ -505,7 +539,9 @@ class GatewayServer:
         self.sessions.pop(session.session_id, None)
         session.close()
         if recorder is not None:
-            self._finalize_recording(session.session_id, recorder)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._finalize_recording, session.session_id, recorder
+            )
 
     def _finalize_recording(self, session_id: str, recorder: Recorder) -> None:
         from repro.store.catalog import Catalog
@@ -519,7 +555,12 @@ class GatewayServer:
             return
         recorder.close()
         if self.record_dir is not None:
-            Catalog(self.record_dir).add(path, name=session_id)
+            # Concurrent finalizations (several sessions saying BYE at
+            # once, each on its own executor thread) must not interleave
+            # the catalog's manifest read-modify-write: each registration
+            # re-reads the manifest under the lock so none is lost.
+            with self._catalog_lock:
+                Catalog(self.record_dir).add(path, name=session_id)
         self.metrics.counter("gateway.recordings_finalized").inc()
 
     async def _cleanup_connection(
@@ -533,7 +574,7 @@ class GatewayServer:
                 await self._wait_drained(conn)
             except KeyError:
                 pass
-            self._finalize_session(conn)
+            await self._finalize_session(conn)
         self.metrics.gauge("gateway.connections_open").add(-1)
         writer.close()
         try:

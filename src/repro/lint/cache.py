@@ -3,11 +3,19 @@
 Pre-commit and CI lint the same mostly-unchanged tree over and over; the
 dataflow rules make a cold run meaningfully more expensive than PR 3's
 lexical pass, so clean files should not be re-analysed. The cache maps
-``sha256(cache version | active rule names | display path | file bytes)``
+``sha256(cache version | rule fingerprint | display path | file bytes)``
 to the file's post-suppression findings. Any input that could change a
 finding is part of the key, so invalidation is automatic: edit the file,
 rename it, change the rule set, or bump :data:`CACHE_VERSION` when the
-analyses themselves change, and the entry simply never matches again.
+engine itself changes, and the entry simply never matches again.
+
+The fingerprint (:func:`rule_fingerprint`) is not just the rule names:
+each rule carries a ``version`` that its author bumps on any behaviour
+change, and the engine appends the interprocedural summary digest, so
+editing a rule — or editing a *callee* whose summary a finding depended
+on — invalidates exactly the entries that could now be stale. Matching
+on names alone was a staleness hazard: a re-tuned rule would keep
+serving its old findings from cache until the file itself changed.
 
 Entries are one JSON file per key under ``.reprolint_cache/``, written
 atomically (temp file + rename) so concurrent workers and interrupted
@@ -21,16 +29,31 @@ import json
 import os
 import tempfile
 from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 
 from repro.lint.diagnostics import Diagnostic
 
-__all__ = ["CACHE_VERSION", "DEFAULT_CACHE_DIR", "ResultCache"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.rules import LintRule
 
-#: Bump whenever rule or engine behaviour changes in a way the rule-name
-#: list cannot capture (new analysis precision, message rewording, ...).
-CACHE_VERSION = "2"
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "rule_fingerprint",
+]
+
+#: Bump whenever rule or engine behaviour changes in a way the rule
+#: fingerprint cannot capture (new analysis precision, message
+#: rewording, ...).
+CACHE_VERSION = "3"
 
 DEFAULT_CACHE_DIR = ".reprolint_cache"
+
+
+def rule_fingerprint(rules: "Sequence[LintRule]") -> str:
+    """``name@version`` fingerprint of a rule set, in activation order."""
+    return ";".join(f"{rule.name}@{rule.version}" for rule in rules)
 
 
 class ResultCache:
@@ -41,10 +64,15 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def key(self, display: str, source: bytes, rule_names: tuple[str, ...]) -> str:
-        """Stable digest of everything that can change this file's findings."""
+    def key(self, display: str, source: bytes, fingerprint: str) -> str:
+        """Stable digest of everything that can change this file's findings.
+
+        ``fingerprint`` is the :func:`rule_fingerprint` of the active
+        rules, with the engine's summary digest appended when the run is
+        interprocedural.
+        """
         hasher = hashlib.sha256()
-        for part in (CACHE_VERSION, ",".join(rule_names), display):
+        for part in (CACHE_VERSION, fingerprint, display):
             hasher.update(part.encode("utf-8"))
             hasher.update(b"\x00")
         hasher.update(source)

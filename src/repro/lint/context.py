@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.lint.suppress import LinePragmas
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.summaries import ProjectAnalysis
 
 __all__ = ["FileContext", "module_parts_of"]
 
@@ -51,6 +54,10 @@ class FileContext:
     #: layer memoises CFGs and solver solutions here so each function is
     #: analysed once per file, not once per rule.
     analysis_cache: dict[str, Any] = field(default_factory=dict)
+    #: Whole-tree interprocedural view (call graph + function summaries);
+    #: None when no active rule asked for it. Rules must degrade to their
+    #: intra-procedural behaviour when absent.
+    project: "ProjectAnalysis | None" = None
 
     def pragma(self, line: int) -> LinePragmas | None:
         """Pragmas on a physical line (None when the line has none)."""

@@ -19,14 +19,21 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.lint.baseline import Baseline
-from repro.lint.cache import ResultCache
+from repro.lint.cache import ResultCache, rule_fingerprint
 from repro.lint.context import FileContext, module_parts_of
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.reporters import LintResult
 from repro.lint.rules import LintRule, all_rules
+from repro.lint.summaries import ProjectAnalysis, load_project
 from repro.lint.suppress import scan_pragmas
 
-__all__ = ["discover_files", "check_file", "lint_paths", "default_jobs"]
+__all__ = [
+    "discover_files",
+    "check_file",
+    "lint_paths",
+    "default_jobs",
+    "build_project",
+]
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
 
@@ -74,11 +81,52 @@ def _display_path(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _parse_bytes(raw: bytes, filename: str) -> ast.Module | None:
+    """Decode + parse under the parse lock; None on any syntax problem."""
+    try:
+        source = raw.decode("utf-8")
+        with _PARSE_LOCK:
+            return ast.parse(source, filename=filename)
+    except (UnicodeDecodeError, SyntaxError):
+        return None
+
+
+def build_project(
+    files: list[Path], root: Path, store_dir: Path | None
+) -> ProjectAnalysis:
+    """Whole-tree pre-pass: facts, call graph, summaries for ``files``.
+
+    Only files that live inside the ``repro`` package contribute facts;
+    everything else (tests, tools) is linted per-file as before.
+    """
+    sources: list[tuple[str, tuple[str, ...], bytes]] = []
+    root_resolved = root.resolve()
+    for path in files:
+        resolved = path.resolve()
+        parts = module_parts_of(resolved.parts)
+        if parts is None:
+            continue
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            continue
+        try:
+            display = resolved.relative_to(root_resolved).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        sources.append((display, parts, raw))
+    return load_project(
+        sources, store_dir, lambda display, raw: _parse_bytes(raw, display)
+    )
+
+
 def check_file(
     path: Path,
     rules: tuple[LintRule, ...],
     root: Path,
     cache: ResultCache | None = None,
+    project: ProjectAnalysis | None = None,
+    fingerprint: str | None = None,
 ) -> tuple[list[Diagnostic], int]:
     """Analyse one file; returns (kept findings, inline-suppressed count)."""
     display = _display_path(path, root)
@@ -88,7 +136,11 @@ def check_file(
         return [Diagnostic(display, 1, 0, "parse-error", f"unreadable file: {exc}")], 0
     key = ""
     if cache is not None:
-        key = cache.key(display, raw, tuple(rule.name for rule in rules))
+        if fingerprint is None:
+            fingerprint = rule_fingerprint(rules)
+            if project is not None:
+                fingerprint = f"{fingerprint}|{project.digest}"
+        key = cache.key(display, raw, fingerprint)
         hit = cache.get(key)
         if hit is not None:
             return hit
@@ -111,17 +163,18 @@ def check_file(
         tree=tree,
         pragmas=pragmas,
         module_parts=module_parts_of(path.resolve().parts),
+        project=project,
     )
-    raw: list[Diagnostic] = [
+    found: list[Diagnostic] = [
         Diagnostic(display, err.line, err.col, "bad-pragma", err.detail)
         for err in pragma_errors
     ]
     for rule in rules:
-        raw.extend(rule.check(ctx))
+        found.extend(rule.check(ctx))
 
     kept: list[Diagnostic] = []
     suppressed = 0
-    for diag in raw:
+    for diag in found:
         pragma = pragmas.get(diag.line)
         if pragma is not None and diag.rule != "bad-pragma" and pragma.suppresses(diag.rule):
             suppressed += 1
@@ -166,14 +219,35 @@ def lint_paths(
     anchor = root if root is not None else Path.cwd()
 
     files = discover_files(paths)
+
+    # Interprocedural pre-pass: built once, shared (read-only) by every
+    # worker. Skipped entirely when no active rule consumes it, so a
+    # targeted ``--select`` run keeps the old intra-procedural cost.
+    project: ProjectAnalysis | None = None
+    if any(rule.requires_project for rule in active_rules):
+        project = build_project(
+            files, anchor, cache.directory if cache is not None else None
+        )
+    fingerprint = rule_fingerprint(active_rules)
+    if project is not None:
+        fingerprint = f"{fingerprint}|{project.digest}"
+
     diagnostics: list[Diagnostic] = []
     suppressed = 0
     if workers <= 1 or len(files) <= 1:
-        per_file = [check_file(f, active_rules, anchor, cache) for f in files]
+        per_file = [
+            check_file(f, active_rules, anchor, cache, project, fingerprint)
+            for f in files
+        ]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             per_file = list(
-                pool.map(lambda f: check_file(f, active_rules, anchor, cache), files)
+                pool.map(
+                    lambda f: check_file(
+                        f, active_rules, anchor, cache, project, fingerprint
+                    ),
+                    files,
+                )
             )
     for kept, file_suppressed in per_file:
         diagnostics.extend(kept)

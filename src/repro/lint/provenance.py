@@ -22,6 +22,7 @@ __all__ = [
     "TRACKED_KINDS",
     "binding_of",
     "constructor_kind",
+    "kind_of_dotted",
     "rng_param_names",
 ]
 
@@ -79,6 +80,15 @@ def constructor_kind(call: ast.Call) -> str | None:
     dotted = dotted_name(call.func)
     if dotted is None:
         return None
+    return kind_of_dotted(dotted)
+
+
+def kind_of_dotted(dotted: str) -> str | None:
+    """Provenance kind minted by a constructor's dotted spelling.
+
+    Shared with the interprocedural summary layer, which classifies by
+    symbolic spelling rather than live AST nodes.
+    """
     parts = dotted.split(".")
     last = parts[-1]
     if last in _RNG_CTORS:

@@ -24,6 +24,15 @@ class LintRule:
 
     name: str = ""
     summary: str = ""
+    #: Bumped by the rule's author on any behaviour change; part of the
+    #: result-cache fingerprint, so a re-tuned rule never serves stale
+    #: cached findings (the names alone cannot express "same rule,
+    #: different analysis").
+    version: str = "1"
+    #: True when the rule consumes the interprocedural project (call
+    #: graph + summaries); the engine builds it only when some active
+    #: rule needs it, keeping intra-procedural runs at their old cost.
+    requires_project: bool = False
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         raise NotImplementedError
@@ -60,6 +69,7 @@ def dotted_name(node: ast.AST) -> str | None:
 def all_rules() -> tuple[LintRule, ...]:
     """Every registered rule, in catalogue order."""
     from repro.lint.rules import (
+        concurrency,
         deadflow,
         determinism,
         hotpath,
@@ -70,7 +80,17 @@ def all_rules() -> tuple[LintRule, ...]:
         units,
     )
 
-    modules = (determinism, rngflow, units, locks, hygiene, lifecycle, deadflow, hotpath)
+    modules = (
+        determinism,
+        rngflow,
+        units,
+        locks,
+        hygiene,
+        lifecycle,
+        deadflow,
+        hotpath,
+        concurrency,
+    )
     out: list[LintRule] = []
     for module in modules:
         out.extend(module.RULES)

@@ -11,10 +11,23 @@ explicit ``raise`` statements — unless:
 - a ``with`` statement governs it (the CFG binds it via ``WithBind``,
   which this rule never starts tracking),
 - ownership visibly escapes (returned, yielded, stored into an
-  attribute/container, passed to another callable — the new owner
-  carries the obligation), or
-- a ``# reprolint: moves(name)`` pragma documents the hand-off where
-  the syntax alone cannot show it.
+  attribute/container, passed to a callable we cannot see — the new
+  owner carries the obligation), or
+- a ``# reprolint: moves(name)`` pragma documents a hand-off the
+  analysis genuinely cannot follow.
+
+Since the interprocedural engine landed, hand-offs to *in-tree* helpers
+are no longer automatic escapes: the callee's
+:class:`~repro.lint.summaries.FunctionSummary` decides. A helper that
+**consumes** the handle (transitively calls ``close()``/``join()`` on
+its parameter) counts as a release; one that stores it away escapes;
+one that merely *uses* it (reads, writes, inspects) keeps the
+obligation right here in the caller — passing a handle to a logging
+helper no longer silences the leak. Symmetrically, ``x = make_writer()``
+starts tracking when the helper's summary says it **returns an owned
+resource**. The old behaviour (every call is an escape, only literal
+constructors start tracking) is what the rule degrades to when the
+project analysis is absent.
 
 The analysis is a forward may-be-unreleased set over ``(name,
 acquisition site)`` pairs solved on the CFG; anything still in the set
@@ -40,6 +53,7 @@ from repro.lint.provenance import (
     constructor_kind,
 )
 from repro.lint.rules import LintRule
+from repro.lint.summaries import ProjectAnalysis
 
 __all__ = ["ResourceLifecycleRule", "RULES"]
 
@@ -47,40 +61,101 @@ __all__ = ["ResourceLifecycleRule", "RULES"]
 _ALL_RELEASES = frozenset(name for names in RELEASE_METHODS.values() for name in names)
 
 
-def _receiver_roles(element: Element) -> tuple[frozenset[str], frozenset[str]]:
-    """``(released names, escaped names)`` for one element.
+class _CallResolver:
+    """Pass-decision oracle for one function's call sites.
 
-    A name is *released* when it appears as ``name.close()`` /
-    ``name.join()``. It *escapes* when it is loaded in any position other
-    than being the receiver of a method call — an argument, a return
-    value, a container element, an attribute store — because that hands
-    a reference (and with it the release obligation) elsewhere.
+    Wraps the project analysis with the caller's coordinates so the
+    dataflow transfer can ask "what happens to a handle given to this
+    call?" without knowing anything about resolution.
+    """
+
+    def __init__(
+        self,
+        project: ProjectAnalysis,
+        module_parts: tuple[str, ...] | None,
+        qualname: str,
+    ) -> None:
+        self._project = project
+        self._module_parts = module_parts
+        self._qualname = qualname
+
+    def pass_decision(self, call: ast.Call, slot: "int | str") -> str:
+        """``"consumed"`` | ``"kept"`` | ``"escape"`` for one argument."""
+        if any(isinstance(arg, ast.Starred) for arg in call.args) or any(
+            kw.arg is None for kw in call.keywords
+        ):
+            return "escape"  # star-args make the slot mapping unsafe
+        res = self._project.resolve_ast_call(self._module_parts, self._qualname, call)
+        if res is None or res.category != "internal" or res.target is None:
+            return "escape"
+        summary = self._project.summary(res.target)
+        landing = self._project.call_param(res, slot)
+        if summary is None or landing is None:
+            return "escape"
+        if landing in summary.consumes:
+            return "consumed"
+        if landing in summary.escapes:
+            return "escape"
+        return "kept"
+
+    def returns_owned_kind(self, call: ast.Call) -> str | None:
+        """Tracked kind a resolved helper call hands its caller, if any."""
+        res = self._project.resolve_ast_call(self._module_parts, self._qualname, call)
+        if res is None or res.category != "internal" or res.target is None:
+            return None
+        summary = self._project.summary(res.target)
+        if summary is None or not summary.returns_owned:
+            return None
+        return summary.returns_owned
+
+
+def _dropped_names(element: Element, resolver: _CallResolver | None) -> frozenset[str]:
+    """Names whose tracking obligation leaves this element.
+
+    Per Name-load occurrence:
+
+    - receiver of ``name.close()``/``join()``/... → released (drops);
+    - receiver of any other method → still ours (keeps);
+    - argument to a call → the callee summary decides (consumed and
+      escape both drop; "kept" keeps the obligation here);
+    - any other load (returned, yielded, stored, a container element)
+      → escapes (drops).
     """
     if not isinstance(element, ast.AST):
-        return frozenset(), frozenset()  # synthetic Bind wrappers
-    released: set[str] = set()
-    receiver_only: set[str] = set()
+        return frozenset()  # synthetic Bind wrappers
     receivers: dict[int, str] = {}
+    arg_slots: dict[int, tuple[ast.Call, "int | str"]] = {}
     for node in ast.walk(element):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and isinstance(node.func.value, ast.Name)
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and isinstance(
+            node.func.value, ast.Name
         ):
             receivers[id(node.func.value)] = node.func.attr
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Name):
+                arg_slots[id(arg)] = (node, position)
+        for kw in node.keywords:
+            if kw.arg is not None and isinstance(kw.value, ast.Name):
+                arg_slots[id(kw.value)] = (node, kw.arg)
+    dropped: set[str] = set()
     for node in ast.walk(element):
         if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
             continue
         method = receivers.get(id(node))
-        if method is None:
+        if method is not None:
+            if method in _ALL_RELEASES:
+                dropped.add(node.id)
+            continue  # receiver-only use keeps ownership here
+        slot = arg_slots.get(id(node))
+        if slot is not None:
+            if resolver is None:
+                dropped.add(node.id)  # no project: every pass escapes
+            elif resolver.pass_decision(slot[0], slot[1]) != "kept":
+                dropped.add(node.id)
             continue
-        if method in _ALL_RELEASES:
-            released.add(node.id)
-        else:
-            receiver_only.add(node.id)
-    _, uses = element_defs_uses(element)
-    escaped = frozenset(uses - released - receiver_only)
-    return frozenset(released), escaped
+        dropped.add(node.id)  # returned / yielded / stored / collected
+    return frozenset(dropped)
 
 
 class _Unreleased(Analysis["frozenset[tuple[str, int]]"]):
@@ -88,9 +163,17 @@ class _Unreleased(Analysis["frozenset[tuple[str, int]]"]):
 
     forward = True
 
-    def __init__(self, moves_by_line: dict[int, tuple[str, ...]]) -> None:
+    def __init__(
+        self,
+        moves_by_line: dict[int, tuple[str, ...]],
+        resolver: _CallResolver | None,
+    ) -> None:
         self._moves_by_line = moves_by_line
+        self._resolver = resolver
         self._kinds: dict[tuple[str, int], str] = {}
+        #: Role classification is resolution work; the solver calls
+        #: transfer repeatedly, so memoise per element.
+        self._dropped_cache: dict[int, frozenset[str]] = {}
 
     def kind_of(self, pair: tuple[str, int]) -> str:
         return self._kinds[pair]
@@ -112,8 +195,10 @@ class _Unreleased(Analysis["frozenset[tuple[str, int]]"]):
         if not state and not isinstance(element, (ast.Assign, ast.AnnAssign)):
             # Nothing tracked yet and this element cannot start tracking.
             return state
-        released, escaped = _receiver_roles(element)
-        dropped = released | escaped
+        dropped = self._dropped_cache.get(id(element))
+        if dropped is None:
+            dropped = _dropped_names(element, self._resolver)
+            self._dropped_cache[id(element)] = dropped
         line = int(getattr(element, "lineno", 0))
         moved = self._moves_by_line.get(line)
         if moved:
@@ -128,6 +213,8 @@ class _Unreleased(Analysis["frozenset[tuple[str, int]]"]):
             name, value = bound
             if isinstance(value, ast.Call):
                 kind = constructor_kind(value)
+                if kind not in TRACKED_KINDS and self._resolver is not None:
+                    kind = self._resolver.returns_owned_kind(value)
                 if kind in TRACKED_KINDS:
                     pair = (name, int(value.lineno))
                     self._kinds[pair] = kind
@@ -142,8 +229,12 @@ class ResourceLifecycleRule(LintRule):
     summary = (
         "resources acquired in repro.hardware/repro.fleet/repro.store/"
         "repro.gateway must be closed/joined on every CFG path, "
-        "with-governed, or moved"
+        "with-governed, or handed to a helper whose summary consumes them"
     )
+    #: "2": interprocedural — helper hand-offs resolved through escape/
+    #: consume summaries, owned returns start tracking.
+    version = "2"
+    requires_project = True
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         if not ctx.in_package("hardware", "fleet", "store", "gateway"):
@@ -154,7 +245,12 @@ class ResourceLifecycleRule(LintRule):
         for cfg in file_cfgs(ctx):
             if cfg.uses_dynamic_locals:
                 continue
-            analysis = _Unreleased(moves_by_line)
+            resolver = (
+                _CallResolver(ctx.project, ctx.module_parts, cfg.qualname)
+                if ctx.project is not None
+                else None
+            )
+            analysis = _Unreleased(moves_by_line, resolver)
             solution = solve(cfg, analysis)
             leaked = solution.inputs[cfg.exit]
             for name, line in sorted(leaked, key=lambda pair: (pair[1], pair[0])):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Callable, Iterator
 
@@ -136,13 +137,22 @@ class Catalog:
                 name: entry.to_dict() for name, entry in sorted(self._entries.items())
             },
         }
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.manifest_path)
+        # The temp name must be unique per writer: two threads (or
+        # processes) rewriting the manifest concurrently would otherwise
+        # replace each other's temp file out from under the os.replace.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".manifest.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, self.manifest_path)
+        except BaseException:
+            Path(tmp_name).unlink(missing_ok=True)
+            raise
 
     # ---------------------------------------------------------------- queries
     def __len__(self) -> int:

@@ -170,6 +170,49 @@ class TestEndToEnd:
             assert reader.content_hash() == source_hash
 
 
+class TestConcurrentFinalization:
+    def test_simultaneous_byes_all_get_replies_and_recordings(
+        self, gateway_trace_path, tmp_path
+    ):
+        """Several sessions saying BYE at once must all finalize cleanly.
+
+        Recording finalization runs on executor threads, so a fleet
+        replaying the same drive lands several catalog registrations
+        concurrently. Regression: the registrations raced on the
+        catalog manifest's read-modify-write, the BYE handler blew up,
+        and clients saw the connection close without a BYE reply.
+        """
+        from repro.gateway.loadgen import LoadGenerator
+
+        async def scenario():
+            record_dir = tmp_path / "rec"
+            server = GatewayServer(workers=4, record_dir=record_dir)
+            await server.start()
+            try:
+                # run() raises the first vehicle failure (e.g. a BYE
+                # that never got its reply), so merely completing is
+                # half the assertion.
+                report = await LoadGenerator(
+                    server.host, server.port, gateway_trace_path, vehicles=6
+                ).run()
+            finally:
+                await server.shutdown()
+            return record_dir, report
+
+        record_dir, report = asyncio.run(scenario())
+        assert report.dropped_queue == 0
+        with TraceReader(gateway_trace_path) as reader:
+            source_hash = reader.content_hash()
+        recordings = sorted(record_dir.glob("veh*.rst"))
+        assert len(recordings) == 6
+        for path in recordings:
+            with TraceReader(path) as reader:
+                assert reader.content_hash() == source_hash
+        # No torn or leftover manifest temp files either.
+        assert not list(record_dir.glob("*.tmp"))
+        assert not list(record_dir.glob(".manifest.*"))
+
+
 class TestBackpressure:
     def test_overload_drops_are_counted_never_silent(self, gateway_trace_path):
         async def scenario():

@@ -7,7 +7,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint.cache import ResultCache
+from repro.lint.cache import ResultCache, rule_fingerprint
 from repro.lint.cli import changed_files, main as lint_main
 from repro.lint.engine import lint_paths
 from repro.lint.rules import all_rules
@@ -51,11 +51,38 @@ class TestResultCache:
 
     def test_rule_set_is_part_of_the_key(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
-        names = tuple(rule.name for rule in all_rules())
-        full = cache.key("repro/sim/mod.py", b"x = 1\n", names)
-        subset = cache.key("repro/sim/mod.py", b"x = 1\n", names[:1])
-        renamed = cache.key("repro/sim/other.py", b"x = 1\n", names)
+        rules = all_rules()
+        full = cache.key("repro/sim/mod.py", b"x = 1\n", rule_fingerprint(rules))
+        subset = cache.key(
+            "repro/sim/mod.py", b"x = 1\n", rule_fingerprint(rules[:1])
+        )
+        renamed = cache.key("repro/sim/other.py", b"x = 1\n", rule_fingerprint(rules))
         assert len({full, subset, renamed}) == 3
+
+    def test_rule_version_bump_invalidates_warm_entries(self, tmp_path):
+        """The staleness regression: a re-tuned rule must never serve its
+        old findings from cache just because the file did not change."""
+        target = _write_tree(tmp_path)
+        cache_dir = tmp_path / "cache"
+        rules = all_rules()
+        lint_paths([target], rules=rules, jobs=1, root=tmp_path,
+                   cache=ResultCache(cache_dir))
+
+        bumped = tuple(rules)
+        flipped = bumped[0]
+        original_version = flipped.version
+        try:
+            type(flipped).version = f"{original_version}-test-bump"
+            after = ResultCache(cache_dir)
+            lint_paths([target], rules=bumped, jobs=1, root=tmp_path, cache=after)
+            assert (after.hits, after.misses) == (0, 1)
+        finally:
+            type(flipped).version = original_version
+
+        # Same versions again: the re-written entry is warm.
+        warm = ResultCache(cache_dir)
+        lint_paths([target], rules=rules, jobs=1, root=tmp_path, cache=warm)
+        assert (warm.hits, warm.misses) == (1, 0)
 
     def test_corrupt_entries_degrade_to_misses(self, tmp_path):
         target = _write_tree(tmp_path)

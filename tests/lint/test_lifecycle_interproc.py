@@ -1,0 +1,122 @@
+"""Interprocedural resource-lifecycle gates: inferred ownership hand-offs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules import rules_by_name
+
+
+def _run(tmp_path: Path, source: str):
+    root = tmp_path / "repro" / "store"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "mod.py").write_text(source)
+    rules = (rules_by_name()["resource-leak"],)
+    result = lint_paths([tmp_path / "repro"], rules=rules, jobs=1, root=tmp_path)
+    return result.diagnostics
+
+
+class TestInferredHandOffs:
+    def test_pass_to_a_helper_that_only_reads_keeps_the_obligation(self, tmp_path):
+        # Pre-interprocedural engines treated every call argument as an
+        # escape; the summary now knows peek() neither consumes nor
+        # stores the handle, so the leak stays with the caller.
+        diags = _run(
+            tmp_path,
+            "def peek(h):\n"
+            "    h.seek(0)\n"
+            "def use(path):\n"
+            "    fh = open(path)\n"
+            "    peek(fh)\n"
+            "    return 1\n",
+        )
+        assert [d.rule for d in diags] == ["resource-leak"]
+        assert "'fh'" in diags[0].message
+
+    def test_pass_to_a_consuming_helper_counts_as_release(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "def finish(h):\n"
+            "    h.close()\n"
+            "def use(path):\n"
+            "    fh = open(path)\n"
+            "    finish(fh)\n"
+            "    return 1\n",
+        )
+        assert diags == []
+
+    def test_transitively_consuming_helper_counts_as_release(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "def finish(h):\n"
+            "    h.close()\n"
+            "def delegate(handle):\n"
+            "    finish(handle)\n"
+            "def use(path):\n"
+            "    fh = open(path)\n"
+            "    delegate(fh)\n"
+            "    return 1\n",
+        )
+        assert diags == []
+
+    def test_pass_to_a_storing_helper_is_an_escape(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "_box = []\n"
+            "def stash(h):\n"
+            "    _box.append(h)\n"
+            "def use(path):\n"
+            "    fh = open(path)\n"
+            "    stash(fh)\n"
+            "    return 1\n",
+        )
+        assert diags == []  # the new owner carries the obligation
+
+    def test_pass_to_an_external_callable_is_an_escape(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "import json\n"
+            "def use(path):\n"
+            "    fh = open(path)\n"
+            "    return json.load(fh)\n",
+        )
+        assert diags == []
+
+
+class TestOwnedReturns:
+    def test_helper_returning_an_owned_handle_starts_tracking(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "def make(path):\n"
+            "    fh = open(path)\n"
+            "    return fh\n"
+            "def use(path):\n"
+            "    fh = make(path)\n"
+            "    return 1\n",
+        )
+        assert [d.rule for d in diags] == ["resource-leak"]
+
+    def test_released_owned_return_is_clean(self, tmp_path):
+        diags = _run(
+            tmp_path,
+            "def make(path):\n"
+            "    fh = open(path)\n"
+            "    return fh\n"
+            "def use(path):\n"
+            "    fh = make(path)\n"
+            "    fh.close()\n"
+            "    return 1\n",
+        )
+        assert diags == []
+
+    def test_helper_itself_is_clean_when_it_returns_ownership(self, tmp_path):
+        # make() hands the handle out via ``return`` — an escape, not a
+        # leak, exactly as before.
+        diags = _run(
+            tmp_path,
+            "def make(path):\n"
+            "    fh = open(path)\n"
+            "    return fh\n",
+        )
+        assert diags == []

@@ -1,0 +1,214 @@
+"""Bottom-up summary propagation and summary-store caching tests."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.callgraph import ModuleFacts, Project, extract_module_facts
+from repro.lint.summaries import compute_summaries, digest_of, load_project
+
+
+def _summaries(**modules: str):
+    built: dict[str, ModuleFacts] = {}
+    for spec, source in modules.items():
+        parts = tuple(spec.split("__"))
+        facts = extract_module_facts(parts, ast.parse(source))
+        built[facts.dotted] = facts
+    return compute_summaries(Project(built))
+
+
+class TestMayBlock:
+    def test_direct_primitive_and_leaf_site(self):
+        summaries = _summaries(
+            sim__mod="import time\ndef f():\n    time.sleep(1)\n"
+        )
+        summary = summaries["repro.sim.mod.f"]
+        assert summary.may_block
+        assert summary.block_primitive == "time.sleep"
+        assert summary.block_site == "repro.sim.mod:3"
+
+    def test_propagates_through_helper_chain_naming_the_leaf(self):
+        summaries = _summaries(
+            sim__mod=(
+                "import time\n"
+                "def leaf():\n    time.sleep(1)\n"
+                "def middle():\n    leaf()\n"
+                "def top():\n    middle()\n"
+            )
+        )
+        top = summaries["repro.sim.mod.top"]
+        assert top.may_block
+        assert top.block_primitive == "time.sleep"
+        assert top.block_site == "repro.sim.mod:3"  # the leaf, not the hop
+
+    def test_propagates_across_modules(self):
+        summaries = _summaries(
+            sim__helper="import subprocess\ndef run():\n    subprocess.run(['x'])\n",
+            sim__mod=(
+                "from repro.sim.helper import run\n"
+                "def top():\n    run()\n"
+            ),
+        )
+        assert summaries["repro.sim.mod.top"].may_block
+
+    def test_executor_handoff_does_not_taint(self):
+        # ``run_in_executor(None, blocking_helper)`` passes a *reference*;
+        # the caller itself never blocks.
+        summaries = _summaries(
+            sim__mod=(
+                "import asyncio, time\n"
+                "def blocking():\n    time.sleep(1)\n"
+                "async def top():\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    await loop.run_in_executor(None, blocking)\n"
+            )
+        )
+        assert not summaries["repro.sim.mod.top"].may_block
+
+    def test_file_method_on_typed_receiver_blocks(self):
+        summaries = _summaries(
+            sim__mod=(
+                "def f(path):\n"
+                "    fh = open(path)\n"
+                "    fh.read()\n"
+                "    fh.close()\n"
+            )
+        )
+        assert summaries["repro.sim.mod.f"].may_block
+
+    def test_cycle_reaches_fixpoint(self):
+        summaries = _summaries(
+            sim__mod=(
+                "import time\n"
+                "def a(n):\n    b(n)\n"
+                "def b(n):\n    a(n)\n    time.sleep(1)\n"
+            )
+        )
+        assert summaries["repro.sim.mod.a"].may_block
+        assert summaries["repro.sim.mod.b"].may_block
+
+
+class TestOwnership:
+    def test_consume_escape_and_kept_params(self):
+        summaries = _summaries(
+            sim__mod=(
+                "_box = []\n"
+                "def finish(h):\n    h.close()\n"
+                "def stash(h):\n    _box.append(h)\n"
+                "def peek(h):\n    h.seek(0)\n"
+            )
+        )
+        assert summaries["repro.sim.mod.finish"].consumes == frozenset({"h"})
+        assert summaries["repro.sim.mod.stash"].escapes == frozenset({"h"})
+        peek = summaries["repro.sim.mod.peek"]
+        assert "h" not in peek.consumes and "h" not in peek.escapes
+
+    def test_consume_propagates_through_a_pass(self):
+        summaries = _summaries(
+            sim__mod=(
+                "def finish(h):\n    h.close()\n"
+                "def delegate(handle):\n    finish(handle)\n"
+            )
+        )
+        assert summaries["repro.sim.mod.delegate"].consumes == frozenset({"handle"})
+
+    def test_star_args_pass_escapes(self):
+        summaries = _summaries(
+            sim__mod=(
+                "def finish(h):\n    h.close()\n"
+                "def blur(h, *rest):\n    finish(*rest)\n"
+                "def fuzz(h):\n    finish(*[h])\n"
+            )
+        )
+        # An unmappable hand-off must degrade to escape, never consume.
+        assert "h" not in _s(summaries, "blur").consumes
+        assert "h" not in _s(summaries, "fuzz").consumes
+
+    def test_returns_owned_directly_and_through_a_helper(self):
+        summaries = _summaries(
+            sim__mod=(
+                "def make(path):\n"
+                "    fh = open(path)\n"
+                "    return fh\n"
+                "def make_indirect(path):\n"
+                "    return make(path)\n"
+            )
+        )
+        assert summaries["repro.sim.mod.make"].returns_owned == "file"
+        assert summaries["repro.sim.mod.make_indirect"].returns_owned == "file"
+
+
+def _s(summaries, name):
+    return summaries[f"repro.sim.mod.{name}"]
+
+
+class TestDigestAndStore:
+    SOURCES = {
+        ("sim", "helper"): b"def leaf():\n    pass\n",
+        ("sim", "mod"): (
+            b"from repro.sim.helper import leaf\n"
+            b"def top():\n    leaf()\n"
+        ),
+    }
+
+    @staticmethod
+    def _parse(display: str, raw: bytes):
+        return ast.parse(raw.decode("utf-8"))
+
+    def _load(self, store_dir, sources=None, parse=None):
+        sources = sources if sources is not None else self.SOURCES
+        entries = [
+            ("/".join(parts) + ".py", parts, raw) for parts, raw in sources.items()
+        ]
+        return load_project(
+            entries, store_dir, self._parse if parse is None else parse
+        )
+
+    def test_behaviour_edit_changes_the_digest(self):
+        base = self._load(None)
+        edited = dict(self.SOURCES)
+        edited[("sim", "helper")] = b"import time\ndef leaf():\n    time.sleep(1)\n"
+        changed = self._load(None, sources=edited)
+        assert base.digest != changed.digest
+
+    def test_comment_edit_keeps_the_digest(self):
+        base = self._load(None)
+        edited = dict(self.SOURCES)
+        edited[("sim", "helper")] = b"# a comment\ndef leaf():\n    pass\n"
+        same = self._load(None, sources=edited)
+        assert base.digest == same.digest
+
+    def test_warm_store_skips_parsing_entirely(self, tmp_path):
+        calls = []
+
+        def counting_parse(display: str, raw: bytes):
+            calls.append(display)
+            return ast.parse(raw.decode("utf-8"))
+
+        cold = self._load(tmp_path, parse=counting_parse)
+        assert len(calls) == 2
+        warm = self._load(tmp_path, parse=counting_parse)
+        assert len(calls) == 2  # every file served from the facts store
+        assert warm.digest == cold.digest
+        assert warm.summaries == cold.summaries
+
+    def test_single_file_edit_reparses_only_that_file(self, tmp_path):
+        calls: list[str] = []
+
+        def counting_parse(display: str, raw: bytes):
+            calls.append(display)
+            return ast.parse(raw.decode("utf-8"))
+
+        self._load(tmp_path, parse=counting_parse)
+        calls.clear()
+        edited = dict(self.SOURCES)
+        edited[("sim", "mod")] = (
+            b"from repro.sim.helper import leaf\n"
+            b"def top():\n    leaf()\n    leaf()\n"
+        )
+        self._load(tmp_path, sources=edited, parse=counting_parse)
+        assert calls == ["sim/mod.py"]
+
+    def test_digest_is_deterministic(self):
+        assert self._load(None).digest == self._load(None).digest
+        assert digest_of({}) == digest_of({})

@@ -65,6 +65,46 @@ class TestCatalog:
         manifest = json.loads((root / MANIFEST_NAME).read_text())
         assert sorted(manifest["entries"]) == ["two"]
 
+    def test_concurrent_manifest_writers_never_tear(self, short_trace, tmp_path):
+        # Two catalog handles rewriting the manifest at the same moment
+        # must not crash: each writer uses its own temp file, so one
+        # os.replace can never steal the other's temp out from under it.
+        # (Lost updates between independent handles are still possible —
+        # callers that need serialization hold their own lock, as the
+        # gateway does — but a concurrent write must never raise or
+        # leave a torn manifest.)
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.store import write_trace
+
+        root = tmp_path / "cat"
+        root.mkdir()
+        other = simulate(small_scenario("CC2"), seed=9)
+        paths = [root / "a.rst", root / "b.rst"]
+        write_trace(paths[0], short_trace)
+        write_trace(paths[1], other)
+
+        barrier = threading.Barrier(2)
+
+        def register(path):
+            cat = Catalog(root)
+            barrier.wait()
+            for _ in range(20):
+                cat._write_manifest()
+            cat.add(path)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(register, p) for p in paths]
+            for future in futures:
+                future.result()  # re-raises any writer crash
+
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert set(manifest["entries"]) <= {"a", "b"}
+        assert len(manifest["entries"]) >= 1
+        leftovers = [p.name for p in root.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+
     def test_add_registers_existing_file(self, short_trace, tmp_path):
         from repro.store import write_trace
 
