@@ -20,10 +20,14 @@ The ablation benchmark quantifies the rate-only vs rate+duration gap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.levd import BlinkDetection
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import BlinkRadarResult
 
 __all__ = [
     "estimate_blink_durations",
@@ -163,7 +167,9 @@ class DualFeatureClassifier:
         features = np.asarray(features, dtype=float).reshape(-1, 2)
         return features[np.isfinite(features).all(axis=1)]
 
-    def fit(self, awake_features: np.ndarray, drowsy_features: np.ndarray):
+    def fit(
+        self, awake_features: np.ndarray, drowsy_features: np.ndarray
+    ) -> DualFeatureClassifier:
         """Fit from (n, 2) arrays of per-window (rate, duration)."""
         awake = self._clean(awake_features)
         drowsy = self._clean(drowsy_features)
@@ -197,7 +203,9 @@ class DualFeatureClassifier:
         return "drowsy" if log_like["drowsy"] > log_like["awake"] else "awake"
 
 
-def result_window_features(result, window_s: float = 60.0) -> np.ndarray:
+def result_window_features(
+    result: BlinkRadarResult, window_s: float = 60.0
+) -> np.ndarray:
     """Per-window (rate, mean duration) features of a detection result.
 
     ``result`` is a :class:`repro.core.pipeline.BlinkRadarResult`; returns
@@ -236,7 +244,9 @@ class PerclosClassifier:
     threshold: float = field(default=0.0, init=False)
     trained: bool = field(default=False, init=False)
 
-    def fit(self, awake_closure: np.ndarray, drowsy_closure: np.ndarray):
+    def fit(
+        self, awake_closure: np.ndarray, drowsy_closure: np.ndarray
+    ) -> PerclosClassifier:
         """Fit from per-window closure fractions of each class."""
         awake = np.asarray(awake_closure, dtype=float)
         drowsy = np.asarray(drowsy_closure, dtype=float)

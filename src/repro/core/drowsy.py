@@ -12,10 +12,15 @@ drowsy rate distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.levd import BlinkDetection
+
+if TYPE_CHECKING:
+    from repro.core.analytics import DualFeatureClassifier
+    from repro.core.realtime import RealTimeConfig
 
 __all__ = ["BlinkRateClassifier", "DrowsyDetector", "StreamingDrowsinessMonitor", "blink_rate_windows"]
 
@@ -165,8 +170,13 @@ class StreamingDrowsinessMonitor:
     Sec. IV-F, as opposed to the offline batch evaluation.
     """
 
-    def __init__(self, frame_rate_hz: float, classifier, window_s: float = 60.0,
-                 config=None) -> None:
+    def __init__(
+        self,
+        frame_rate_hz: float,
+        classifier: DualFeatureClassifier | BlinkRateClassifier,
+        window_s: float = 60.0,
+        config: RealTimeConfig | None = None,
+    ) -> None:
         from repro.core.realtime import RealTimeBlinkDetector
 
         if window_s <= 0:
@@ -180,7 +190,7 @@ class StreamingDrowsinessMonitor:
         self._window_frames = int(round(window_s * frame_rate_hz))
         self._frames_seen = 0
 
-    def push(self, frame) -> str | None:
+    def push(self, frame: np.ndarray) -> str | None:
         """Feed one frame; returns a verdict when a window completes."""
         import numpy as np
 

@@ -24,12 +24,16 @@ Drowsiness::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.drowsy import BlinkRateClassifier, DrowsyDetector, blink_rate_windows
 from repro.core.levd import BlinkDetection
 from repro.core.realtime import FrameStatus, RealTimeBlinkDetector, RealTimeConfig
+
+if TYPE_CHECKING:
+    from repro.core.analytics import DualFeatureClassifier
 
 __all__ = ["BlinkRadar", "BlinkRadarResult"]
 
@@ -149,7 +153,7 @@ class BlinkRadar:
         drowsy_captures: list[np.ndarray],
         window_s: float = 60.0,
         features: str = "rate+duration",
-    ):
+    ) -> DualFeatureClassifier | BlinkRateClassifier:
         """Train the per-user drowsiness model from calibration captures.
 
         Each capture is a (n_frames, n_bins) frame matrix recorded in a
@@ -192,7 +196,7 @@ class BlinkRadar:
     def detect_drowsiness(
         self,
         frames: np.ndarray,
-        classifier,
+        classifier: DualFeatureClassifier | BlinkRateClassifier,
         window_s: float = 60.0,
     ) -> list[str]:
         """Per-window awake/drowsy verdicts for a capture.

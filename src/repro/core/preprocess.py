@@ -114,6 +114,10 @@ class Preprocessor:
 
         Each row is filtered independently; the whole block costs two
         fused convolutions regardless of how many frames it holds.
+
+        Shape:
+            frames: (N, R)
+            return: (N, R)
         """
         frames = np.asarray(frames)
         if frames.ndim != 2:

@@ -119,7 +119,7 @@ class FilterScratch:
     def __init__(self) -> None:
         self._padded: dict[tuple[int, str], np.ndarray] = {}
 
-    def padded(self, n_rows: int, width: int, dtype: np.dtype) -> np.ndarray:
+    def padded(self, n_rows: int, width: int, dtype: np.dtype) -> np.ndarray:  # reprolint: shape(return=(n_rows,width))
         """A ``(n_rows, width)`` scratch block of ``dtype`` (contents stale)."""
         key = (width, np.dtype(dtype).str)
         buf = self._padded.get(key)
@@ -159,6 +159,12 @@ def fir_filter_rows(  # reprolint: hotpath
 
     Rows must be longer than the pad width (``len(taps) // 2``); shorter
     blocks take the repeated-reflection scalar path in :func:`fir_filter`.
+
+    Shape:
+        rows: (N, R)
+        taps: (T,)
+        out: (N, R)
+        return: (N, R)
     """
     n, length = rows.shape
     pad = len(taps) // 2
@@ -313,6 +319,10 @@ class CascadingFilter:
         S sessions' frames runs through the same two kernels regardless
         of S, and rows are filtered independently, so chunk boundaries
         (and session boundaries) cannot change a single bit.
+
+        Shape:
+            rows: (N, R)
+            return: (N, R)
         """
         n, length = rows.shape
         out_dtype = np.result_type(rows.dtype, self.taps.dtype)
@@ -365,7 +375,7 @@ class LoopbackFilter:
         """Forget the clutter estimate (e.g. after a large body movement)."""
         self._background = None
 
-    def push(self, frame: np.ndarray) -> np.ndarray:
+    def push(self, frame: np.ndarray) -> np.ndarray:  # reprolint: shape(frame=(R,)) shape(return=(R,))
         """Feed one frame; return the background-subtracted frame."""
         frame = np.asarray(frame)
         if self._background is None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from collections import deque
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -115,7 +116,7 @@ class SortedWindow:
     def __len__(self) -> int:
         return len(self._fifo)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         """Chronological (FIFO) iteration, oldest first."""
         return iter(self._fifo)
 

@@ -1,0 +1,489 @@
+"""Symbolic shape/dtype abstract domain for the array-contract rules.
+
+The batched kernels (PR 6) live and die by implicit array contracts —
+``(S, T, R)`` block geometry, complex128-in/float64-out dtype
+discipline, ``out=`` buffer reuse — that ``np.ndarray`` annotations
+cannot express. This module gives the linter a small abstract domain to
+reason about them:
+
+- An **array type** is ``(dims, dtype)`` where ``dims`` is a tuple of
+  symbolic dimensions (``"N"``, ``"n_bins"``, a literal ``"4"``, or
+  ``"?"`` for unknown) or ``None`` when even the rank is unknown, and
+  ``dtype`` is a normalised spelling (``"complex128"``) or ``""``.
+- **Contracts** are declared per parameter (or ``return``) with the
+  ``# reprolint: shape(name=(N,R),dtype=complex128)`` pragma or a
+  docstring ``Shape:`` block::
+
+      Shape:
+          rows: (N, R) complex128
+          out: (N, R) float64
+          return: (N, R) float64
+
+- :class:`ShapeEnv` infers array types for the locals of one function
+  body — seeded from the declared contracts, then propagated through
+  constructor calls (``np.zeros((n, r))``), dtype flows (``astype``,
+  ``asarray``), view transforms (slices, ``.T``, ``reshape``) and
+  arithmetic — so rules can judge a call-site argument without running
+  any code.
+
+Everything here is deliberately conservative: a spelling the domain
+does not model maps to "unknown", and rules only fire on definite
+information (two known ranks that differ, two literal dims that
+conflict). Silence, not speculation, on anything polymorphic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable
+
+from repro.lint.suppress import ShapeContract
+
+__all__ = [
+    "ArrayType",
+    "ShapeEnv",
+    "bind_dims",
+    "dims_conflict",
+    "dtype_of_expr",
+    "is_complex",
+    "is_float",
+    "normalize_dtype",
+    "parse_docstring_contracts",
+    "shape_of_expr",
+]
+
+#: ``(dims, dtype)`` — dims None = unknown rank; dtype "" = unknown.
+ArrayType = tuple["tuple[str, ...] | None", str]
+
+#: Canonical dtype spellings the domain distinguishes.
+_DTYPE_ALIASES = {
+    "complex": "complex128",
+    "complex128": "complex128",
+    "complex64": "complex64",
+    "cdouble": "complex128",
+    "csingle": "complex64",
+    "float": "float64",
+    "float64": "float64",
+    "double": "float64",
+    "float32": "float32",
+    "single": "float32",
+    "float16": "float16",
+    "int": "int64",
+    "int64": "int64",
+    "int32": "int32",
+    "int16": "int16",
+    "int8": "int8",
+    "intp": "int64",
+    "uint8": "uint8",
+    "uint16": "uint16",
+    "uint32": "uint32",
+    "uint64": "uint64",
+    "bool": "bool",
+    "bool_": "bool",
+}
+
+#: ``np.X((shape), dtype=...)`` constructors; default dtype float64.
+_SHAPE_CTORS = frozenset({"zeros", "ones", "empty", "full"})
+#: ``np.X_like(y, dtype=...)`` constructors; inherit ``y``'s type.
+_LIKE_CTORS = frozenset({"zeros_like", "ones_like", "empty_like", "full_like"})
+#: ``np.X(y, dtype=...)`` pass-throughs; same shape, optional re-dtype.
+_PASSTHROUGH = frozenset({"asarray", "ascontiguousarray", "array", "copy"})
+#: Receiver methods that preserve shape and dtype.
+_SAME_METHODS = frozenset({"copy", "conj", "conjugate"})
+#: ``np.X(y)`` functions returning a float array of ``y``'s shape.
+_FLOAT_FUNCS = frozenset({"abs", "absolute", "angle", "real", "imag"})
+
+
+def normalize_dtype(spelling: str) -> str:
+    """Canonical dtype name for a spelling, or "" when unmodelled.
+
+    ``np.complex128`` / ``"complex128"`` / ``complex`` all map to
+    ``"complex128"``; ``np.result_type(...)`` and friends map to "".
+    """
+    leaf = spelling.split(".")[-1].strip("'\"")
+    return _DTYPE_ALIASES.get(leaf, "")
+
+
+def is_complex(dtype: str) -> bool:
+    return dtype.startswith("complex")
+
+
+def is_float(dtype: str) -> bool:
+    return dtype.startswith("float")
+
+
+def dtype_of_expr(node: ast.expr | None) -> str:
+    """Normalised dtype named by a ``dtype=`` argument expression."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return normalize_dtype(node.value)
+    if isinstance(node, ast.Name):
+        return normalize_dtype(node.id)
+    if isinstance(node, ast.Attribute):
+        parts: list[str] = []
+        value: ast.expr = node
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            return normalize_dtype(parts[0])
+    return ""
+
+
+def _dim_of_expr(node: ast.expr) -> str:
+    """Symbolic spelling of one dimension expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return str(node.value)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _dim_of_expr(node.operand)
+        return f"-{inner}" if inner != "?" else "?"
+    return "?"
+
+
+def shape_of_expr(node: ast.expr) -> tuple[str, ...] | None:
+    """Dims tuple for a shape argument (``(n, r)``, ``n``), or None."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_dim_of_expr(el) for el in node.elts)
+    dim = _dim_of_expr(node)
+    return (dim,) if dim != "?" else None
+
+
+def dims_conflict(declared: str, actual: str) -> str:
+    """Verdict for one dim pair: "ok" | "mismatch" | "broadcast" | "unknown".
+
+    Two literal ints that differ are a mismatch — unless one of them is
+    1, which numpy would silently broadcast instead of rejecting (the
+    nastier failure, reported separately). A symbolic name only proves
+    equality with itself; anything else is unknown and stays silent.
+    """
+    if declared == "?" or actual == "?":
+        return "unknown"
+    if declared == actual:
+        return "ok"
+    d_lit, a_lit = declared.isdigit(), actual.isdigit()
+    if d_lit and a_lit:
+        return "broadcast" if declared == "1" or actual == "1" else "mismatch"
+    return "unknown"
+
+
+def bind_dims(
+    binding: dict[str, str], declared: tuple[str, ...], actual: tuple[str, ...]
+) -> str | None:
+    """Fold one arg's dims into a per-call symbol binding.
+
+    The same callee symbol (``N`` in ``rows=(N,R), out=(N,R)``) must
+    bind consistently across every argument of one call: two different
+    *literal* caller dims for one symbol prove the call wrong even when
+    neither dim conflicts with the contract alone. Returns the callee
+    symbol that conflicted, or None.
+    """
+    for declared_dim, actual_dim in zip(declared, actual):
+        if declared_dim == "?" or actual_dim == "?" or declared_dim.isdigit():
+            continue
+        bound = binding.get(declared_dim)
+        if bound is None:
+            binding[declared_dim] = actual_dim
+        elif (
+            bound != actual_dim and bound.isdigit() and actual_dim.isdigit()
+        ):
+            return declared_dim
+    return None
+
+
+# --------------------------------------------------------------- docstrings
+_SHAPE_HEADER_RE = re.compile(r"^\s*Shape:\s*$")
+_SHAPE_ENTRY_RE = re.compile(
+    r"^\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*):\s*"
+    r"\((?P<dims>[^)]*)\)"
+    r"(?:\s+(?P<dtype>[A-Za-z0-9_.]+))?\s*$"
+)
+_DIM_TOKEN_RE = re.compile(r"(?:[A-Za-z_][A-Za-z0-9_]*|[0-9]+|\?)$")
+
+
+def parse_docstring_contracts(
+    doc: str | None,
+) -> tuple[dict[str, ShapeContract], list[str]]:
+    """Contracts declared in a docstring ``Shape:`` block, plus errors.
+
+    The block is the line ``Shape:`` followed by indented
+    ``name: (dims) [dtype]`` entries; the first non-matching non-blank
+    line ends it. A malformed entry inside the block is an error — a
+    typo must not silently drop a contract.
+    """
+    contracts: dict[str, ShapeContract] = {}
+    errors: list[str] = []
+    if not doc:
+        return contracts, errors
+    lines = doc.splitlines()
+    in_block = False
+    for line in lines:
+        if not in_block:
+            if _SHAPE_HEADER_RE.match(line):
+                in_block = True
+            continue
+        if not line.strip():
+            break
+        entry = _SHAPE_ENTRY_RE.match(line)
+        if entry is None:
+            errors.append(f"malformed Shape: entry {line.strip()!r}")
+            break
+        dims = tuple(
+            token.strip() for token in entry.group("dims").split(",") if token.strip()
+        )
+        bad = [d for d in dims if not _DIM_TOKEN_RE.fullmatch(d)]
+        if bad:
+            errors.append(f"malformed Shape: dims {bad} in {line.strip()!r}")
+            continue
+        dtype = normalize_dtype(entry.group("dtype") or "")
+        if entry.group("dtype") and not dtype:
+            errors.append(
+                f"unknown Shape: dtype {entry.group('dtype')!r} in {line.strip()!r}"
+            )
+        name = entry.group("name")
+        if name in contracts:
+            errors.append(f"duplicate Shape: entry for {name!r}")
+            continue
+        contracts[name] = ShapeContract(name=name, dims=dims, dtype=dtype)
+    return contracts, errors
+
+
+# ---------------------------------------------------------------- inference
+def _np_call(node: ast.Call) -> str | None:
+    """``"zeros"`` for ``np.zeros(...)``/``numpy.zeros(...)``, else None."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+def _kwarg(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+_PROMOTE_ORDER = ("bool", "int", "float", "complex")
+
+
+def _promote(a: str, b: str) -> str:
+    """Binary-op result dtype, numpy promotion collapsed to families."""
+    if not a or not b:
+        return ""
+    if is_complex(a) or is_complex(b):
+        return "complex128" if "128" in a + b or "float64" in (a, b) else "complex64"
+    if is_float(a) or is_float(b):
+        return a if is_float(a) and (not is_float(b) or a >= b) else b
+    return a if a == b else ""
+
+
+class ShapeEnv:
+    """Flow-insensitive array-type environment for one function body.
+
+    Built by walking the body's statements in source order (nested
+    ``def``/``class``/``lambda`` scopes excluded); each assignment whose
+    right-hand side the domain models binds its target. Rules query
+    :meth:`type_of` on argument expressions at call sites.
+
+    ``resolve_call`` optionally maps an internal call node to the
+    callee's return array type, letting the interprocedural rules see
+    through ``y = helper(x)``.
+    """
+
+    def __init__(
+        self,
+        contracts: dict[str, ShapeContract] | None = None,
+        resolve_call: "Callable[[ast.Call], ArrayType | None] | None" = None,
+    ) -> None:
+        self.types: dict[str, ArrayType] = {}
+        self._resolve_call = resolve_call
+        if contracts:
+            for name, contract in contracts.items():
+                if name != "return":
+                    self.types[name] = (contract.dims, contract.dtype)
+
+    # ------------------------------------------------------------ building
+    def bind_body(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """Bind every modelled assignment in ``fn``'s own scope."""
+        stack: list[ast.AST] = list(fn.body)
+        nested = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, nested):
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    inferred = self.type_of(node.value)
+                    if inferred is not None:
+                        self.types[target.id] = inferred
+                    else:
+                        self.types.pop(target.id, None)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if node.value is not None:
+                    inferred = self.type_of(node.value)
+                    if inferred is not None:
+                        self.types[node.target.id] = inferred
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.stmt)
+            )
+
+    # ------------------------------------------------------------- queries
+    def type_of(self, node: ast.expr) -> ArrayType | None:
+        """Array type of an expression, or None when not modelled."""
+        if isinstance(node, ast.Name):
+            return self.types.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._call_type(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_type(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute_type(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop_type(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.type_of(node.operand)
+        return None
+
+    def dtype_of(self, node: ast.expr) -> str:
+        inferred = self.type_of(node)
+        return inferred[1] if inferred is not None else ""
+
+    # ------------------------------------------------------------ internals
+    def _call_type(self, node: ast.Call) -> ArrayType | None:
+        np_name = _np_call(node)
+        if np_name is not None:
+            return self._np_call_type(node, np_name)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = self.type_of(func.value)
+            if func.attr == "astype" and receiver is not None:
+                dtype = (
+                    dtype_of_expr(node.args[0]) if node.args
+                    else dtype_of_expr(_kwarg(node, "dtype"))
+                )
+                return (receiver[0], dtype)
+            if func.attr == "reshape":
+                dtype = receiver[1] if receiver is not None else ""
+                if len(node.args) == 1:
+                    dims = shape_of_expr(node.args[0])
+                elif node.args:
+                    dims = tuple(_dim_of_expr(a) for a in node.args)
+                else:
+                    dims = None
+                if dims is not None or dtype:
+                    return (dims, dtype)
+                return None
+            if func.attr in _SAME_METHODS and receiver is not None:
+                return receiver
+        if self._resolve_call is not None:
+            resolved = self._resolve_call(node)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _np_call_type(self, node: ast.Call, name: str) -> ArrayType | None:
+        if name in _SHAPE_CTORS:
+            dims = shape_of_expr(node.args[0]) if node.args else None
+            dtype = dtype_of_expr(_kwarg(node, "dtype"))
+            if not dtype and name != "full":
+                dtype = "float64"
+            return (dims, dtype)
+        if name in _LIKE_CTORS:
+            base = self.type_of(node.args[0]) if node.args else None
+            dtype = dtype_of_expr(_kwarg(node, "dtype"))
+            if base is None:
+                return (None, dtype) if dtype else None
+            return (base[0], dtype or base[1])
+        if name in _PASSTHROUGH:
+            base = self.type_of(node.args[0]) if node.args else None
+            dtype = dtype_of_expr(_kwarg(node, "dtype"))
+            if base is None:
+                return None
+            return (base[0], dtype or base[1])
+        if name in _FLOAT_FUNCS:
+            base = self.type_of(node.args[0]) if node.args else None
+            if base is None:
+                return None
+            dtype = base[1]
+            if is_complex(dtype):
+                dtype = "float64" if dtype == "complex128" else "float32"
+            return (base[0], dtype)
+        return None
+
+    def _subscript_type(self, node: ast.Subscript) -> ArrayType | None:
+        base = self.type_of(node.value)
+        if base is None or base[0] is None:
+            return None
+        dims, dtype = base
+        index = node.slice
+        if isinstance(index, ast.Slice):
+            return (("?",) + dims[1:], dtype) if dims else (dims, dtype)
+        if isinstance(index, (ast.Constant, ast.Name)) and not isinstance(
+            index, ast.Tuple
+        ):
+            if isinstance(index, ast.Constant) and not isinstance(index.value, int):
+                return None
+            if isinstance(index, ast.Name):
+                indexed = self.types.get(index.id)
+                if indexed is not None:
+                    return None  # fancy indexing with an array: unmodelled
+            return (dims[1:], dtype) if dims else None
+        if isinstance(index, ast.Tuple):
+            out: list[str] = []
+            cursor = 0
+            for element in index.elts:
+                if cursor >= len(dims):
+                    return None
+                if isinstance(element, ast.Slice):
+                    out.append("?")
+                    cursor += 1
+                elif isinstance(element, ast.Constant) and isinstance(
+                    element.value, int
+                ):
+                    cursor += 1  # integer index drops the dim
+                elif isinstance(element, ast.Name) and element.id not in self.types:
+                    cursor += 1
+                else:
+                    return None
+            out.extend(dims[cursor:])
+            return (tuple(out), dtype)
+        return None
+
+    def _attribute_type(self, node: ast.Attribute) -> ArrayType | None:
+        base = self.type_of(node.value)
+        if base is None:
+            return None
+        dims, dtype = base
+        if node.attr == "T":
+            return (tuple(reversed(dims)) if dims is not None else None, dtype)
+        if node.attr in ("real", "imag"):
+            if is_complex(dtype):
+                narrowed = "float64" if dtype == "complex128" else "float32"
+                return (dims, narrowed)
+            return (dims, dtype)
+        return None
+
+    def _binop_type(self, node: ast.BinOp) -> ArrayType | None:
+        left = self.type_of(node.left)
+        right = self.type_of(node.right)
+        scalar_left = isinstance(node.left, ast.Constant)
+        scalar_right = isinstance(node.right, ast.Constant)
+        if left is not None and (right is None and scalar_right):
+            return left
+        if right is not None and (left is None and scalar_left):
+            return right
+        if left is not None and right is not None:
+            dims = left[0] if left[0] == right[0] else None
+            return (dims, _promote(left[1], right[1]))
+        return None

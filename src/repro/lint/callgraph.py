@@ -46,7 +46,9 @@ import ast
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Union
 
+from repro.lint.arrayflow import ArrayType, ShapeEnv, parse_docstring_contracts
 from repro.lint.cfg import FunctionLike, iter_functions
+from repro.lint.suppress import LinePragmas, ShapeContract, scan_pragmas
 
 __all__ = [
     "CALLGRAPH_VERSION",
@@ -63,7 +65,9 @@ __all__ = [
 
 #: Bump when the facts schema or extraction behaviour changes; persisted
 #: facts from an older version are discarded, never misread.
-CALLGRAPH_VERSION = "1"
+#: 2: per-function array facts (shape/dtype contracts, alias-safe and
+#: hotpath markers, inferred return array type).
+CALLGRAPH_VERSION = "2"
 
 #: The package the graph is scoped to.
 _PACKAGE = "repro"
@@ -167,6 +171,24 @@ class FunctionFacts:
     #: Sync ``with``-held locks whose body contains an ``await``.
     lock_holds: tuple[LockHold, ...]
     has_await: bool
+    #: Declared array contracts (shape pragma + docstring ``Shape:``
+    #: block): parameter name or ``"return"`` → (dims, dtype). Dims are
+    #: symbolic spellings scoped to this function.
+    array_contracts: dict[str, tuple[tuple[str, ...], str]] = field(
+        default_factory=dict
+    )
+    #: Contract declarations that could not be resolved (a name that is
+    #: not a parameter, a pragma/docstring conflict, a malformed
+    #: ``Shape:`` entry). The whole-src self-check asserts none exist.
+    array_unresolved: tuple[str, ...] = ()
+    #: Locally inferred array type of the returned expression, when the
+    #: shape domain models it and no ``return`` contract is declared.
+    returned_array: "ArrayType | None" = None
+    #: The ``alias-safe`` pragma on the def line: the kernel tolerates
+    #: an ``out=`` buffer aliasing an input.
+    alias_safe: bool = False
+    #: The ``hotpath`` pragma on the def line.
+    hotpath: bool = False
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -184,10 +206,35 @@ class FunctionFacts:
             "returned_calls": list(self.returned_calls),
             "lock_holds": [h.to_json() for h in self.lock_holds],
             "has_await": self.has_await,
+            "array_contracts": {
+                name: [list(dims), dtype]
+                for name, (dims, dtype) in self.array_contracts.items()
+            },
+            "array_unresolved": list(self.array_unresolved),
+            "returned_array": (
+                None
+                if self.returned_array is None
+                else [
+                    None
+                    if self.returned_array[0] is None
+                    else list(self.returned_array[0]),
+                    self.returned_array[1],
+                ]
+            ),
+            "alias_safe": self.alias_safe,
+            "hotpath": self.hotpath,
         }
 
     @staticmethod
     def from_json(data: dict[str, Any]) -> "FunctionFacts":
+        raw_returned = data.get("returned_array")
+        returned_array: "ArrayType | None" = None
+        if raw_returned is not None:
+            dims_raw, dtype_raw = raw_returned
+            returned_array = (
+                None if dims_raw is None else tuple(str(d) for d in dims_raw),
+                str(dtype_raw),
+            )
         return FunctionFacts(
             qualname=str(data["qualname"]),
             line=int(data["line"]),
@@ -206,6 +253,14 @@ class FunctionFacts:
             returned_calls=tuple(int(i) for i in data["returned_calls"]),
             lock_holds=tuple(LockHold.from_json(h) for h in data["lock_holds"]),
             has_await=bool(data["has_await"]),
+            array_contracts={
+                str(name): (tuple(str(d) for d in entry[0]), str(entry[1]))
+                for name, entry in data.get("array_contracts", {}).items()
+            },
+            array_unresolved=tuple(data.get("array_unresolved", ())),
+            returned_array=returned_array,
+            alias_safe=bool(data.get("alias_safe", False)),
+            hotpath=bool(data.get("hotpath", False)),
         )
 
 
@@ -545,15 +600,68 @@ def _local_types(
 _RELEASE_NAMES = frozenset({"close", "join", "shutdown", "stop", "cancel"})
 
 
+def _array_facts(
+    fn: FunctionLike, params: list[str], pragma: "LinePragmas | None"
+) -> tuple[dict[str, tuple[tuple[str, ...], str]], list[str], "ArrayType | None"]:
+    """Declared contracts, contract errors, and the inferred return type.
+
+    Contracts come from ``shape(...)`` pragmas on the ``def`` line and
+    from the docstring ``Shape:`` block; a pragma wins a disagreement
+    only by being reported as a conflict — silently preferring either
+    source would let the two drift apart.
+    """
+    declared: dict[str, ShapeContract] = {}
+    errors: list[str] = []
+    doc_contracts, doc_errors = parse_docstring_contracts(ast.get_docstring(fn))
+    errors.extend(doc_errors)
+    pragma_contracts = pragma.shapes if pragma is not None else ()
+    for contract in (*pragma_contracts, *doc_contracts.values()):
+        previous = declared.get(contract.name)
+        if previous is not None:
+            if (previous.dims, previous.dtype) != (contract.dims, contract.dtype):
+                errors.append(
+                    f"conflicting contracts for {contract.name!r}: "
+                    f"{previous.dims}/{previous.dtype or '?'} vs "
+                    f"{contract.dims}/{contract.dtype or '?'}"
+                )
+            continue
+        declared[contract.name] = contract
+    known = set(params) | {"return"}
+    for name in declared:
+        if name not in known:
+            errors.append(f"contract names unknown parameter {name!r}")
+    contracts = {
+        name: (contract.dims, contract.dtype)
+        for name, contract in declared.items()
+        if name in known
+    }
+
+    returned_array: "ArrayType | None" = None
+    if "return" not in contracts and isinstance(
+        fn, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        env = ShapeEnv(declared)
+        env.bind_body(fn)
+        for node in _iter_own(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                inferred = env.type_of(node.value)
+                if inferred is not None:
+                    returned_array = inferred
+                    break
+    return contracts, errors, returned_array
+
+
 def _function_facts(
     qualname: str,
     fn: FunctionLike,
     class_name: str,
     attr_types: dict[str, str],
+    pragma: "LinePragmas | None" = None,
 ) -> FunctionFacts:
     is_async = isinstance(fn, ast.AsyncFunctionDef)
     params = _param_names(fn)
     local_types = _local_types(fn, attr_types)
+    array_contracts, array_errors, returned_array = _array_facts(fn, params, pragma)
 
     own_nodes = list(_iter_own(fn))
     awaited_ids = {
@@ -684,6 +792,11 @@ def _function_facts(
         returned_calls=tuple(returned_calls),
         lock_holds=tuple(lock_holds),
         has_await=bool(awaited_ids),
+        array_contracts=array_contracts,
+        array_unresolved=tuple(array_errors),
+        returned_array=returned_array,
+        alias_safe=pragma.alias_safe if pragma is not None else False,
+        hotpath=pragma.hotpath if pragma is not None else False,
     )
 
 
@@ -718,9 +831,18 @@ def _import_map(tree: ast.Module, module_parts: tuple[str, ...]) -> dict[str, st
 
 
 def extract_module_facts(
-    module_parts: tuple[str, ...], tree: ast.Module
+    module_parts: tuple[str, ...], tree: ast.Module, source: str | None = None
 ) -> ModuleFacts:
-    """Stage 1: purely syntactic facts for one parsed module."""
+    """Stage 1: purely syntactic facts for one parsed module.
+
+    ``source`` (when available) is scanned for def-line pragmas so that
+    shape contracts, ``alias-safe`` and ``hotpath`` markers become part
+    of the cached facts; malformed pragma bodies are reported separately
+    by the engine's own pragma scan (``bad-pragma``).
+    """
+    pragmas: dict[int, LinePragmas] = {}
+    if source is not None:
+        pragmas, _ = scan_pragmas(source)
     classes: dict[str, ClassFacts] = {}
 
     # Collect classes (including nested ones) with dotted qualnames.
@@ -740,7 +862,9 @@ def extract_module_facts(
         head = qualname.rsplit(".", 1)[0] if "." in qualname else ""
         class_name = head if head in classes else ""
         attr_types = classes[class_name].attr_types if class_name else {}
-        functions[qualname] = _function_facts(qualname, fn, class_name, attr_types)
+        functions[qualname] = _function_facts(
+            qualname, fn, class_name, attr_types, pragmas.get(fn.lineno)
+        )
 
     return ModuleFacts(
         module_parts=module_parts,

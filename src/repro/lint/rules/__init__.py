@@ -69,6 +69,8 @@ def dotted_name(node: ast.AST) -> str | None:
 def all_rules() -> tuple[LintRule, ...]:
     """Every registered rule, in catalogue order."""
     from repro.lint.rules import (
+        aliasing,
+        arraycontract,
         concurrency,
         deadflow,
         determinism,
@@ -78,6 +80,7 @@ def all_rules() -> tuple[LintRule, ...]:
         locks,
         rngflow,
         units,
+        viewescape,
     )
 
     modules = (
@@ -90,6 +93,9 @@ def all_rules() -> tuple[LintRule, ...]:
         deadflow,
         hotpath,
         concurrency,
+        arraycontract,
+        aliasing,
+        viewescape,
     )
     out: list[LintRule] = []
     for module in modules:

@@ -1,0 +1,133 @@
+"""``out=`` aliasing rule for the batched kernel surface.
+
+The zero-allocation kernel style (``fir_filter_rows(rows, taps,
+scratch, out=y)``) invites an easy and nearly undetectable mistake:
+passing the *same* buffer as an input and as ``out=``. A kernel that
+reads each input element before writing the corresponding output
+happens to work; one that writes ahead of its reads (IIR feedback,
+cascades reusing rows) silently corrupts the tail of its own input —
+results look plausible and no exception fires.
+
+``out-aliasing`` flags every resolved internal call whose ``out=``
+argument is the *same expression* as another argument (the bare name,
+or an identical subscript such as ``x[lo:hi]`` twice), unless the
+callee's ``def`` line carries ``# reprolint: alias-safe`` — the
+author's documented claim that in-place operation is correct, recorded
+where the kernel lives rather than at each call site.
+
+Different subscripts of one base (``x[0:n]`` vs ``x[n:m]``) are left
+alone: proving disjointness is a range-analysis problem, and flagging
+overlapping-but-maybe-disjoint windows would bury the definite hits.
+External callees (numpy ufuncs are documented alias-safe) stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule
+
+__all__ = ["OutAliasingRule", "RULES"]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _own_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, ast.Call):
+            yield child
+        if not isinstance(child, _NESTED_SCOPES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """Base ``Name`` of a Name/Subscript/Attribute chain, else None."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _same_expr(a: ast.expr, b: ast.expr) -> bool:
+    """Structurally identical expressions (``x`` vs ``x``, same slice)."""
+    return ast.dump(a) == ast.dump(b)
+
+
+class OutAliasingRule(LintRule):
+    """``out=`` must not alias an input unless the kernel says alias-safe."""
+
+    name = "out-aliasing"
+    summary = (
+        "an out= buffer that is the same expression as an input argument "
+        "lets the kernel overwrite data it has not read yet; the callee "
+        "must carry `# reprolint: alias-safe` to allow in-place calls"
+    )
+    requires_project = True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        project = ctx.project
+        if project is None or ctx.module_parts is None:
+            return
+        mod = project.module_of(ctx.module_parts)
+        if mod is None:
+            return
+        from repro.lint.cfg import iter_functions
+
+        for qualname, fn_node in iter_functions(ctx.tree):
+            if qualname not in mod.functions:
+                continue
+            for call in _own_calls(fn_node):
+                out_expr = None
+                for kw in call.keywords:
+                    if kw.arg == "out":
+                        out_expr = kw.value
+                        break
+                if out_expr is None or _root_name(out_expr) is None:
+                    continue
+                aliased = self._aliased_input(call, out_expr)
+                if aliased is None:
+                    continue
+                res = project.resolve_ast_call(ctx.module_parts, qualname, call)
+                if res is None or res.category != "internal" or res.target is None:
+                    continue  # external/unresolved: numpy ufuncs alias-safe
+                callee = project.summary(res.target)
+                if callee is None or callee.alias_safe:
+                    continue
+                short = res.target.split(".")[-1]
+                yield self.diagnostic(
+                    ctx,
+                    out_expr,
+                    f"out= aliases input {aliased!r} in this call to "
+                    f"{short}(), which is not declared alias-safe; the "
+                    "kernel may overwrite elements it has not read yet — "
+                    "pass a distinct buffer, or mark the callee "
+                    "`# reprolint: alias-safe` after verifying its "
+                    "read-before-write order",
+                )
+
+    @staticmethod
+    def _aliased_input(call: ast.Call, out_expr: ast.expr) -> str | None:
+        """Spelling of an input argument identical to ``out_expr``."""
+        out_root = _root_name(out_expr)
+        candidates: list[ast.expr] = list(call.args)
+        candidates.extend(
+            kw.value for kw in call.keywords if kw.arg is not None and kw.arg != "out"
+        )
+        for arg in candidates:
+            if isinstance(arg, ast.Starred):
+                continue
+            root = _root_name(arg)
+            if root is None or root != out_root:
+                continue
+            if _same_expr(arg, out_expr):
+                return ast.unparse(arg) if hasattr(ast, "unparse") else root
+        return None
+
+
+RULES: tuple[LintRule, ...] = (OutAliasingRule(),)

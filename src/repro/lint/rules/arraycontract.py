@@ -1,0 +1,340 @@
+"""Array-contract rules: symbolic shape and dtype checking at call sites.
+
+The batched kernels communicate through implicit array contracts —
+``(S, T, R)`` block geometry, complex128-in/float64-out dtype
+discipline — that no test exercises for every caller and no ``ndarray``
+annotation can express. With contracts declared via the
+``# reprolint: shape(...)`` pragma or a docstring ``Shape:`` block
+(:mod:`repro.lint.arrayflow`), these rules check every resolved call in
+the tree against them:
+
+- ``shape-mismatch`` — an argument whose inferred rank or a literal
+  dimension definitely conflicts with the callee's declared shape; a
+  literal 1 against a literal N is reported as the nastier *broadcast
+  hazard* (numpy accepts it and silently stretches the axis), and one
+  callee symbol bound to two different literal dims across the same
+  call (``rows=(N,R), out=(N,R)`` with ``rows`` 64-row and ``out``
+  32-row) is convicted even though neither argument conflicts alone.
+- ``dtype-drop`` — complex data silently narrowed to a float contract
+  (the imaginary half of the IQ signal vanishes; numpy only warns at
+  runtime), a complex-typed value ``.astype``'d to float without going
+  through ``.real``/``np.abs``, and — on ``# reprolint: hotpath``
+  functions only — float32 data widened into a float64 contract, which
+  doubles memory traffic on the per-frame path.
+
+Both rules are conservative: an unknown rank, an unmodelled expression,
+or a symbolic-vs-symbolic dim difference stays silent. Findings mean a
+*definite* contract violation, so the committed baseline stays empty.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.arrayflow import (
+    ArrayType,
+    ShapeEnv,
+    bind_dims,
+    dims_conflict,
+    is_complex,
+    is_float,
+)
+from repro.lint.callgraph import FunctionFacts
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule
+from repro.lint.suppress import ShapeContract
+from repro.lint.summaries import FunctionSummary, ProjectAnalysis
+
+__all__ = ["ShapeMismatchRule", "DtypeDropRule", "RULES"]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _NESTED_SCOPES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _foreign(array: ArrayType) -> ArrayType:
+    """A callee's return type as seen by a caller: symbols demoted to ?."""
+    dims, dtype = array
+    if dims is None:
+        return array
+    return (tuple(d if d.isdigit() else "?" for d in dims), dtype)
+
+
+def _contracts_of(facts: FunctionFacts) -> dict[str, ShapeContract]:
+    return {
+        name: ShapeContract(name=name, dims=dims, dtype=dtype)
+        for name, (dims, dtype) in facts.array_contracts.items()
+        if name != "return"
+    }
+
+
+def _spell(dims: tuple[str, ...] | None) -> str:
+    return "?" if dims is None else "(" + ", ".join(dims) + ")"
+
+
+class _ContractRule(LintRule):
+    """Shared iteration: each function with a ShapeEnv + resolved calls."""
+
+    requires_project = True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        project = ctx.project
+        if project is None or ctx.module_parts is None:
+            return
+        mod = project.module_of(ctx.module_parts)
+        if mod is None:
+            return
+        from repro.lint.cfg import iter_functions
+
+        for qualname, fn_node in iter_functions(ctx.tree):
+            facts = mod.functions.get(qualname)
+            if facts is None:
+                continue
+
+            def resolve(call: ast.Call, _q: str = qualname) -> ArrayType | None:
+                res = project.resolve_ast_call(ctx.module_parts, _q, call)
+                if res is None or res.category != "internal" or res.target is None:
+                    return None
+                callee = project.summary(res.target)
+                if callee is None or callee.returns_array is None:
+                    return None
+                return _foreign(callee.returns_array)
+
+            env = ShapeEnv(_contracts_of(facts), resolve_call=resolve)
+            env.bind_body(fn_node)
+            yield from self.check_function(ctx, project, qualname, facts, fn_node, env)
+
+    def check_function(
+        self,
+        ctx: FileContext,
+        project: ProjectAnalysis,
+        qualname: str,
+        facts: FunctionFacts,
+        fn_node: ast.AST,
+        env: ShapeEnv,
+    ) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def _contracted_calls(
+        self, ctx: FileContext, project: ProjectAnalysis, qualname: str, fn_node: ast.AST
+    ) -> Iterator[tuple[ast.Call, FunctionSummary, list[tuple[str, ast.expr]]]]:
+        """Calls landing in a callee with contracts, args mapped to params."""
+        for node in _own_nodes(fn_node):
+            if not isinstance(node, ast.Call):
+                continue
+            res = project.resolve_ast_call(ctx.module_parts, qualname, node)
+            if res is None or res.category != "internal" or res.target is None:
+                continue
+            callee = project.summary(res.target)
+            if callee is None or not callee.array_params:
+                continue
+            if any(isinstance(a, ast.Starred) for a in node.args) or any(
+                kw.arg is None for kw in node.keywords
+            ):
+                continue  # *args/**kwargs: the mapping is not knowable
+            mapped: list[tuple[str, ast.expr]] = []
+            for position, arg in enumerate(node.args):
+                param = project.call_param(res, position)
+                if param is not None:
+                    mapped.append((param, arg))
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    param = project.call_param(res, kw.arg)
+                    if param is not None:
+                        mapped.append((param, kw.value))
+            yield node, callee, mapped
+
+
+class ShapeMismatchRule(_ContractRule):
+    """Arguments must satisfy the callee's declared shape contract."""
+
+    name = "shape-mismatch"
+    summary = (
+        "argument shape definitely conflicts with the callee's declared "
+        "contract (rank, a literal dim, or one symbol bound two ways); "
+        "a literal 1 vs N is flagged as a silent broadcast hazard"
+    )
+
+    def check_function(
+        self,
+        ctx: FileContext,
+        project: ProjectAnalysis,
+        qualname: str,
+        facts: FunctionFacts,
+        fn_node: ast.AST,
+        env: ShapeEnv,
+    ) -> Iterable[Diagnostic]:
+        for call, callee, mapped in self._contracted_calls(
+            ctx, project, qualname, fn_node
+        ):
+            binding: dict[str, str] = {}
+            short = callee.qualname.split(".")[-1]
+            for param, arg in mapped:
+                contract = callee.array_params.get(param)
+                if contract is None or contract[0] is None:
+                    continue
+                declared = contract[0]
+                actual = env.type_of(arg)
+                if actual is None or actual[0] is None:
+                    continue
+                if len(actual[0]) != len(declared):
+                    yield self.diagnostic(
+                        ctx,
+                        arg,
+                        f"argument {param!r} of {short}() has rank "
+                        f"{len(actual[0])} {_spell(actual[0])} but the "
+                        f"contract declares rank {len(declared)} "
+                        f"{_spell(declared)}",
+                    )
+                    continue
+                broken = False
+                for declared_dim, actual_dim in zip(declared, actual[0]):
+                    verdict = dims_conflict(declared_dim, actual_dim)
+                    if verdict == "mismatch":
+                        yield self.diagnostic(
+                            ctx,
+                            arg,
+                            f"argument {param!r} of {short}() has dim "
+                            f"{actual_dim} where the contract declares "
+                            f"{declared_dim} ({_spell(actual[0])} vs "
+                            f"{_spell(declared)})",
+                        )
+                        broken = True
+                        break
+                    if verdict == "broadcast":
+                        yield self.diagnostic(
+                            ctx,
+                            arg,
+                            f"argument {param!r} of {short}() has dim "
+                            f"{actual_dim} where the contract declares "
+                            f"{declared_dim}; numpy will broadcast instead "
+                            "of rejecting this, silently stretching the "
+                            "axis — a shape bug no exception will catch",
+                        )
+                        broken = True
+                        break
+                if broken:
+                    continue
+                symbol = bind_dims(binding, declared, actual[0])
+                if symbol is not None:
+                    sizes = {binding.get(symbol, "?")} | {
+                        a
+                        for d, a in zip(declared, actual[0])
+                        if d == symbol
+                    }
+                    tail = (
+                        "numpy will broadcast instead of rejecting this, "
+                        "silently stretching the axis"
+                        if "1" in sizes
+                        else "the shared dim must agree across every argument"
+                    )
+                    yield self.diagnostic(
+                        ctx,
+                        arg,
+                        f"callee symbol {symbol!r} of {short}() is bound to "
+                        f"two different sizes by this call's arguments "
+                        f"({param!r} gives {_spell(actual[0])} against "
+                        f"contract {_spell(declared)}); {tail}",
+                    )
+
+
+class DtypeDropRule(_ContractRule):
+    """Complex data must not silently narrow; hot paths must not widen."""
+
+    name = "dtype-drop"
+    summary = (
+        "complex data passed into a float contract or .astype(float)'d "
+        "loses its imaginary half silently; float32 widened into a "
+        "float64 contract doubles memory traffic on hotpath functions"
+    )
+
+    def check_function(
+        self,
+        ctx: FileContext,
+        project: ProjectAnalysis,
+        qualname: str,
+        facts: FunctionFacts,
+        fn_node: ast.AST,
+        env: ShapeEnv,
+    ) -> Iterable[Diagnostic]:
+        for call, callee, mapped in self._contracted_calls(
+            ctx, project, qualname, fn_node
+        ):
+            short = callee.qualname.split(".")[-1]
+            for param, arg in mapped:
+                contract = callee.array_params.get(param)
+                if contract is None or not contract[1]:
+                    continue
+                actual_dtype = env.dtype_of(arg)
+                if not actual_dtype:
+                    continue
+                declared_dtype = contract[1]
+                if is_complex(actual_dtype) and is_float(declared_dtype):
+                    yield self.diagnostic(
+                        ctx,
+                        arg,
+                        f"argument {param!r} of {short}() is {actual_dtype} "
+                        f"but the contract declares {declared_dtype}; the "
+                        "imaginary half is dropped silently (numpy only "
+                        "emits ComplexWarning at runtime) — take .real or "
+                        "np.abs(...) explicitly first",
+                    )
+                elif (
+                    (facts.hotpath or callee.hotpath)
+                    and actual_dtype == "float32"
+                    and declared_dtype == "float64"
+                ):
+                    yield self.diagnostic(
+                        ctx,
+                        arg,
+                        f"argument {param!r} of {short}() is float32 but "
+                        f"the contract declares float64 on a hot-path "
+                        "call; the implicit upcast doubles per-frame "
+                        "memory traffic — keep the buffer float64 or "
+                        "declare the contract float32",
+                    )
+        # Local narrowing: x.astype(float...) on a complex-typed value.
+        for node in _own_nodes(fn_node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                continue
+            receiver_dtype = env.dtype_of(node.func.value)
+            if not is_complex(receiver_dtype):
+                continue
+            target = self._astype_dtype(node)
+            if is_float(target):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    f".astype({target}) on a {receiver_dtype} value drops "
+                    "the imaginary half silently — take .real (phase-"
+                    "insensitive) or np.abs(...) (envelope) explicitly so "
+                    "the projection is visible in the code",
+                )
+
+    @staticmethod
+    def _astype_dtype(node: ast.Call) -> str:
+        from repro.lint.arrayflow import dtype_of_expr
+
+        if node.args:
+            return dtype_of_expr(node.args[0])
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return dtype_of_expr(kw.value)
+        return ""
+
+
+RULES: tuple[LintRule, ...] = (ShapeMismatchRule(), DtypeDropRule())

@@ -16,6 +16,14 @@ hot paths without opting into the ban.
 A deliberate allocation (e.g. the result buffer of an ``out=``-style
 API, allocated only when the caller passes no buffer) is acknowledged
 in place with ``# reprolint: disable=hotpath-alloc``.
+
+``hotpath-copy`` covers the *implicit* allocations the alloc rule's
+spelling list cannot: ``.astype(...)`` (copies unless ``copy=False``),
+``.flatten()`` (always copies — ``ravel`` may not), boolean-mask and
+list-literal fancy indexing (always materialise), and
+``np.ascontiguousarray``/``np.asfortranarray`` (copy whenever the
+input is strided — which on the hot path it usually is, that being why
+the call was added). Same scope, same acknowledgement pragma.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.rules import LintRule, dotted_name
 
-__all__ = ["HotpathAllocRule", "RULES"]
+__all__ = ["HotpathAllocRule", "HotpathCopyRule", "RULES"]
 
 #: Allocating calls banned inside a hot-path function.
 _ALLOC_CALLS = frozenset(
@@ -84,4 +92,111 @@ class HotpathAllocRule(LintRule):
                 )
 
 
-RULES: tuple[LintRule, ...] = (HotpathAllocRule(),)
+#: ``np.X(y)`` spellings that copy whenever the input is strided.
+_LAYOUT_COPIES = frozenset(
+    {
+        "np.ascontiguousarray",
+        "numpy.ascontiguousarray",
+        "np.asfortranarray",
+        "numpy.asfortranarray",
+    }
+)
+
+
+def _copy_false(node: ast.Call) -> bool:
+    """True when the call passes ``copy=False`` explicitly."""
+    for kw in node.keywords:
+        if kw.arg == "copy" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+def _fancy_index(node: ast.Subscript) -> str | None:
+    """Copy-producing index kind (``"mask"``/``"list"``) or None.
+
+    Slices and integer/tuple indexing produce views; a boolean mask
+    (any comparison expression) or a list-literal index materialises a
+    new array every time.
+    """
+    index = node.slice
+    if isinstance(index, ast.Compare):
+        return "mask"
+    if isinstance(index, ast.List):
+        return "list"
+    return None
+
+
+class HotpathCopyRule(LintRule):
+    """No implicit array copies inside ``# reprolint: hotpath`` functions."""
+
+    name = "hotpath-copy"
+    summary = (
+        ".astype/.flatten/mask-or-list indexing/ascontiguousarray inside "
+        "a `# reprolint: hotpath` function copies per call; restructure "
+        "or acknowledge with `# reprolint: disable=hotpath-copy`"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not HotpathAllocRule._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            pragma = ctx.pragma(node.lineno)
+            if pragma is None or not pragma.hotpath:
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Diagnostic]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute):
+                    method = node.func.attr
+                    if method == "astype" and not _copy_false(node):
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"`.astype(...)` copies on every call of hot-path "
+                            f"function `{fn.name}` (pass copy=False only if a "
+                            "no-op cast is guaranteed); keep the buffer in "
+                            "its target dtype instead",
+                        )
+                        continue
+                    if method == "flatten":
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"`.flatten()` always copies; inside hot-path "
+                            f"function `{fn.name}` use `.ravel()` (a view "
+                            "for contiguous input) or index directly",
+                        )
+                        continue
+                called = dotted_name(node.func)
+                if called in _LAYOUT_COPIES:
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"`{called}` copies whenever its input is strided — "
+                        f"which on hot-path function `{fn.name}` it usually "
+                        "is; keep the buffer contiguous from allocation "
+                        "instead of re-packing per call",
+                    )
+            elif isinstance(node, ast.Subscript):
+                kind = _fancy_index(node)
+                if kind is not None:
+                    what = (
+                        "a boolean mask" if kind == "mask" else "a list literal"
+                    )
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"indexing with {what} materialises a new array on "
+                        f"every call of hot-path function `{fn.name}`; "
+                        "precompute indices once, or operate in place "
+                        "(np.where / boolean arithmetic into scratch)",
+                    )
+
+
+RULES: tuple[LintRule, ...] = (HotpathAllocRule(), HotpathCopyRule())

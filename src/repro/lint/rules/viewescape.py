@@ -1,0 +1,231 @@
+"""View-escape rule: zero-copy mmap views must not outlive their reader.
+
+:class:`repro.store.reader.TraceReader` hands out zero-copy views into
+its memory map (``read``, ``chunk_frames``, ``timestamps``, the
+``frames`` property). That is the point of the format — but a view that
+escapes past ``close()`` (or past the ``with`` block) keeps pointing at
+an unmapped region: on CPython the mmap object stays alive through the
+ndarray's base reference and the *file* stays open long after the
+reader "closed" it, and explicit ``mmap.close()`` paths crash with a
+BufferError or worse. Either way the caller holds a time bomb the type
+system cannot see.
+
+``view-escape`` flags, per function:
+
+- ``return``/``yield`` of a view (by name or directly) produced from a
+  reader that this function releases — a ``with TraceReader(...)``
+  block releases by construction; a plain ``r = TraceReader(...)``
+  counts once ``r.close()`` appears anywhere in the body;
+- storing such a view on ``self``/an attribute, which parks it beyond
+  the release point just as surely.
+
+Copies break the chain: rebinding through ``.copy()``, ``.astype``,
+``np.array(...)``, ``np.ascontiguousarray(...)`` launders the value,
+and a reader that itself escapes (returned or stored) transfers the
+release obligation to the caller, so its views are the caller's
+problem — the lifecycle rules track the reader from there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import LintRule, dotted_name
+
+__all__ = ["ViewEscapeRule", "RULES"]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: Reader methods (and the one property) returning zero-copy views.
+_VIEW_METHODS = frozenset({"read", "chunk_frames", "timestamps"})
+_VIEW_ATTRS = frozenset({"frames"})
+
+#: Spellings that materialise an owned copy of a view.
+_COPY_CALLS = frozenset(
+    {"np.array", "numpy.array", "np.ascontiguousarray", "numpy.ascontiguousarray"}
+)
+_COPY_METHODS = frozenset({"copy", "astype", "tolist"})
+
+
+def _own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _NESTED_SCOPES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _is_reader_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    return dotted is not None and dotted.split(".")[-1] == "TraceReader"
+
+
+def _view_source(node: ast.expr, readers: set[str]) -> str | None:
+    """Reader name a view expression reads from, or None.
+
+    Matches ``r.read(...)`` / ``r.chunk_frames(...)`` /
+    ``r.timestamps()`` / ``r.frames`` and slices thereof.
+    """
+    if isinstance(node, ast.Subscript):
+        return _view_source(node.value, readers)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in readers
+        and node.func.attr in _VIEW_METHODS
+    ):
+        return node.func.value.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in readers
+        and node.attr in _VIEW_ATTRS
+    ):
+        return node.value.id
+    return None
+
+
+def _is_copying(node: ast.expr) -> bool:
+    """True when ``node`` wraps its argument in an owning copy."""
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = dotted_name(node.func)
+    if dotted in _COPY_CALLS:
+        return True
+    return (
+        isinstance(node.func, ast.Attribute) and node.func.attr in _COPY_METHODS
+    )
+
+
+class ViewEscapeRule(LintRule):
+    """No zero-copy reader view may escape past the reader's release."""
+
+    name = "view-escape"
+    summary = (
+        "a zero-copy TraceReader view (read/chunk_frames/timestamps/"
+        "frames) returned or stored past the reader's close() points at "
+        "a dead mapping; copy it (np.array, .copy()) before it escapes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Diagnostic]:
+        nodes = list(_own_nodes(fn))
+
+        readers: set[str] = set()
+        released: set[str] = set()
+        for node in nodes:
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_reader_ctor(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        readers.add(item.optional_vars.id)
+                        released.add(item.optional_vars.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and _is_reader_ctor(node.value):
+                    readers.add(target.id)
+        if not readers:
+            return
+        for node in nodes:
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in readers
+                and node.func.attr == "close"
+            ):
+                released.add(node.func.value.id)
+
+        # A reader that escapes hands its obligation to the caller.
+        for node in nodes:
+            if isinstance(node, (ast.Return, ast.Yield)) and isinstance(
+                node.value, ast.Name
+            ):
+                released.discard(node.value.id)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and isinstance(
+                        node.value, ast.Name
+                    ):
+                        released.discard(node.value.id)
+        if not released:
+            return
+
+        # View locals bound from a released reader; copies launder. The
+        # walk order is arbitrary, so rebinding is judged in source order.
+        views: dict[str, str] = {}
+        assigns = sorted(
+            (n for n in nodes if isinstance(n, ast.Assign)),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+        for node in assigns:
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            source = _view_source(node.value, released)
+            if source is not None:
+                views[target.id] = source
+            elif target.id in views:
+                # Rebinding through a copy (or anything else) launders.
+                del views[target.id]
+
+        def escaping_view(value: ast.expr | None) -> tuple[str, str] | None:
+            """``(view spelling, reader name)`` when ``value`` escapes."""
+            if value is None or _is_copying(value):
+                return None
+            if isinstance(value, ast.Name) and value.id in views:
+                return value.id, views[value.id]
+            source = _view_source(value, released)
+            if source is not None:
+                spelled = ast.unparse(value) if hasattr(ast, "unparse") else "<view>"
+                return spelled, source
+            return None
+
+        for node in nodes:
+            if isinstance(node, (ast.Return, ast.Yield)):
+                hit = escaping_view(node.value)
+                if hit is not None:
+                    spelled, reader = hit
+                    verb = "returned" if isinstance(node, ast.Return) else "yielded"
+                    yield self.diagnostic(
+                        ctx,
+                        node,
+                        f"zero-copy view {spelled!r} from reader {reader!r} "
+                        f"is {verb} past the reader's release; it will point "
+                        "at a dead mapping — materialise it first "
+                        "(np.array(view) or view.copy())",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    hit = escaping_view(node.value)
+                    if hit is not None:
+                        spelled, reader = hit
+                        yield self.diagnostic(
+                            ctx,
+                            node,
+                            f"zero-copy view {spelled!r} from reader "
+                            f"{reader!r} is stored on an attribute and "
+                            "outlives the reader's release — materialise "
+                            "it first (np.array(view) or view.copy())",
+                        )
+
+
+RULES: tuple[LintRule, ...] = (ViewEscapeRule(),)

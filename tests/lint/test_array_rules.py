@@ -1,0 +1,472 @@
+"""Array-contract rule family: domain units, rule gates, near misses.
+
+Every rule gets a true-positive gate (the bug class it exists for) and
+a near-miss gate (the closest legal code, which must stay silent) —
+the conservative-silence contract is what keeps the committed baseline
+empty on the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.lint.arrayflow import (
+    ShapeEnv,
+    bind_dims,
+    dims_conflict,
+    normalize_dtype,
+    parse_docstring_contracts,
+)
+from repro.lint.callgraph import extract_module_facts
+from repro.lint.suppress import ShapeContract, scan_pragmas
+
+
+# ------------------------------------------------------------------- domain
+class TestDtypeNormalisation:
+    @pytest.mark.parametrize(
+        ("spelling", "expected"),
+        [
+            ("complex", "complex128"),
+            ("np.complex128", "complex128"),
+            ("'complex64'", "complex64"),
+            ("float", "float64"),
+            ("numpy.float32", "float32"),
+            ("int", "int64"),
+            ("bool_", "bool"),
+            ("np.result_type", ""),
+            ("object", ""),
+        ],
+    )
+    def test_aliases(self, spelling, expected):
+        assert normalize_dtype(spelling) == expected
+
+
+class TestDimsConflict:
+    @pytest.mark.parametrize(
+        ("declared", "actual", "verdict"),
+        [
+            ("N", "N", "ok"),
+            ("4", "4", "ok"),
+            ("4", "5", "mismatch"),
+            ("1", "5", "broadcast"),
+            ("4", "1", "broadcast"),
+            ("N", "M", "unknown"),
+            ("N", "4", "unknown"),
+            ("?", "4", "unknown"),
+        ],
+    )
+    def test_verdicts(self, declared, actual, verdict):
+        assert dims_conflict(declared, actual) == verdict
+
+    def test_bind_dims_convicts_two_literals_for_one_symbol(self):
+        binding: dict[str, str] = {}
+        assert bind_dims(binding, ("N", "R"), ("4", "8")) is None
+        assert bind_dims(binding, ("N", "R"), ("5", "8")) == "N"
+
+    def test_bind_dims_tolerates_symbolic_rebinding(self):
+        binding: dict[str, str] = {}
+        assert bind_dims(binding, ("N",), ("n_rows",)) is None
+        assert bind_dims(binding, ("N",), ("m_rows",)) is None  # not literal
+
+
+class TestDocstringContracts:
+    def test_block_parses_entries_and_dtype(self):
+        contracts, errors = parse_docstring_contracts(
+            "Filter rows.\n\nShape:\n    rows: (N, R) complex128\n"
+            "    return: (N, R)\n\nTrailing prose.\n"
+        )
+        assert errors == []
+        assert contracts["rows"].dims == ("N", "R")
+        assert contracts["rows"].dtype == "complex128"
+        assert contracts["return"].dims == ("N", "R")
+
+    def test_malformed_entry_is_an_error_not_a_silent_drop(self):
+        contracts, errors = parse_docstring_contracts(
+            "Shape:\n    rows: N, R\n"
+        )
+        assert contracts == {}
+        assert errors and "malformed" in errors[0]
+
+    def test_unknown_dtype_is_reported(self):
+        _, errors = parse_docstring_contracts(
+            "Shape:\n    rows: (N,) quaternion\n"
+        )
+        assert errors and "quaternion" in errors[0]
+
+
+class TestShapePragma:
+    def test_shape_pragma_round_trip(self):
+        pragmas, errors = scan_pragmas(
+            "def f(rows):  # reprolint: shape(rows=(N,R),dtype=complex128)\n"
+            "    pass\n"
+        )
+        assert errors == []
+        (contract,) = pragmas[1].shapes
+        assert contract == ShapeContract("rows", ("N", "R"), "complex128")
+
+    def test_malformed_shape_pragma_is_an_error(self):
+        _, errors = scan_pragmas("x = 1  # reprolint: shape(rows=N)\n")
+        assert errors and "shape" in errors[0].detail
+
+    def test_alias_safe_pragma(self):
+        pragmas, errors = scan_pragmas("def f():  # reprolint: alias-safe\n    pass\n")
+        assert errors == []
+        assert pragmas[1].alias_safe
+
+
+class TestShapeEnv:
+    def _env(self, body: str, contracts=None) -> ShapeEnv:
+        tree = ast.parse(body)
+        env = ShapeEnv(contracts if contracts is not None else {})
+        env.bind_body(tree.body[0])
+        return env
+
+    def test_ctor_slice_transpose_flow(self):
+        env = self._env(
+            "def f(n, r):\n"
+            "    x = np.zeros((n, r), dtype=np.complex128)\n"
+            "    head = x[0]\n"
+            "    window = x[2:5]\n"
+            "    flipped = x.T\n"
+            "    mag = np.abs(x)\n"
+        )
+        assert env.types["x"] == (("n", "r"), "complex128")
+        assert env.types["head"] == (("r",), "complex128")
+        assert env.types["window"] == (("?", "r"), "complex128")
+        assert env.types["flipped"] == (("r", "n"), "complex128")
+        assert env.types["mag"] == (("n", "r"), "float64")
+
+    def test_astype_reshape_and_contract_seed(self):
+        env = self._env(
+            "def f(rows):\n"
+            "    y = rows.astype(np.float32)\n"
+            "    flat = rows.reshape(-1)\n",
+            {"rows": ShapeContract("rows", ("N", "R"), "complex128")},
+        )
+        assert env.types["y"] == (("N", "R"), "float32")
+        assert env.types["flat"] == (("-1",), "complex128")
+
+    def test_unmodelled_rhs_clears_a_binding(self):
+        env = self._env(
+            "def f(n):\n"
+            "    x = np.zeros((n,))\n"
+            "    x = mystery(x)\n"
+        )
+        assert "x" not in env.types
+
+
+# ---------------------------------------------------------------- extraction
+def _facts_of(source: str):
+    tree = ast.parse(source)
+    return extract_module_facts(("dsp", "mod"), tree, source)
+
+
+class TestArrayFactExtraction:
+    def test_pragma_and_docstring_merge(self):
+        facts = _facts_of(
+            "def kernel(rows, out):  # reprolint: shape(out=(N,R))\n"
+            '    """Do the thing.\n\n'
+            "    Shape:\n"
+            "        rows: (N, R) complex128\n"
+            '    """\n'
+            "    return out\n"
+        )
+        fn = facts.functions["kernel"]
+        assert fn.array_contracts["rows"] == (("N", "R"), "complex128")
+        assert fn.array_contracts["out"] == (("N", "R"), "")
+        assert fn.array_unresolved == ()
+
+    def test_conflicting_sources_are_reported(self):
+        facts = _facts_of(
+            "def kernel(rows):  # reprolint: shape(rows=(N,R))\n"
+            '    """Do the thing.\n\n'
+            "    Shape:\n"
+            "        rows: (N, R, S)\n"
+            '    """\n'
+        )
+        fn = facts.functions["kernel"]
+        assert any("conflicting" in d for d in fn.array_unresolved)
+
+    def test_unknown_parameter_name_is_reported(self):
+        facts = _facts_of(
+            "def kernel(rows):  # reprolint: shape(cols=(N,))\n    pass\n"
+        )
+        fn = facts.functions["kernel"]
+        assert any("unknown parameter" in d for d in fn.array_unresolved)
+        assert "cols" not in fn.array_contracts
+
+    def test_returned_array_is_inferred_without_a_contract(self):
+        facts = _facts_of(
+            "import numpy as np\n\n"
+            "def make(n):\n"
+            "    return np.zeros((n, 4), dtype=np.float32)\n"
+        )
+        assert facts.functions["make"].returned_array == (("n", "4"), "float32")
+
+    def test_markers_reach_the_facts(self):
+        facts = _facts_of(
+            "def kernel(rows, out=None):  # reprolint: hotpath alias-safe\n"
+            "    pass\n"
+        )
+        fn = facts.functions["kernel"]
+        assert fn.hotpath and fn.alias_safe
+
+
+# -------------------------------------------------------------------- rules
+KERNEL = '''
+import numpy as np
+
+
+def kernel(rows, out=None):  # reprolint: shape(rows=(N,R),dtype=float64) shape(out=(N,R))
+    """Filter the rows.
+
+    Shape:
+        return: (N, R)
+    """
+    return rows
+'''
+
+
+class TestShapeMismatchRule:
+    def test_rank_conflict_fires(self, linter):
+        names = linter.rule_names(
+            KERNEL + "\ndef bad():\n"
+            "    kernel(np.zeros((4, 8, 2)))\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "shape-mismatch" in names
+
+    def test_broadcast_hazard_fires_on_literal_one(self, linter):
+        findings = linter.findings(
+            KERNEL + "\ndef bad():\n"
+            "    kernel(np.zeros((1, 8)), out=np.zeros((4, 8)))\n",
+            rel="repro/dsp/mod.py",
+        )
+        hazards = [d for d in findings if d.rule == "shape-mismatch"]
+        assert hazards and "broadcast" in hazards[0].message
+
+    def test_symbol_bound_two_ways_fires(self, linter):
+        names = linter.rule_names(
+            KERNEL + "\ndef bad():\n"
+            "    kernel(np.zeros((4, 8)), out=np.zeros((5, 8)))\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "shape-mismatch" in names
+
+    def test_matching_and_symbolic_calls_stay_silent(self, linter):
+        names = linter.rule_names(
+            KERNEL + "\ndef good(n):\n"
+            "    kernel(np.zeros((n, 8)), out=np.zeros((n, 8)))\n"
+            "    kernel(np.zeros((4, 8)), out=np.zeros((4, 8)))\n"
+            "    kernel(unknown_rows())\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "shape-mismatch" not in names
+
+    def test_helper_return_flows_through_the_call_graph(self, linter):
+        # make() returns (n, 9); kernel's out is (N, R) with rows (N, 8):
+        # R binds 8 vs 9 only via two literals — so use literal rows too.
+        names = linter.rule_names(
+            KERNEL + "\n"
+            "def make():\n"
+            "    return np.zeros((4, 9))\n\n"
+            "def bad():\n"
+            "    kernel(np.zeros((4, 8)), out=make())\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "shape-mismatch" in names
+
+
+class TestDtypeDropRule:
+    def test_complex_into_float_contract_fires(self, linter):
+        names = linter.rule_names(
+            KERNEL + "\ndef bad():\n"
+            "    kernel(np.zeros((4, 8), dtype=np.complex128))\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "dtype-drop" in names
+
+    def test_astype_float_on_complex_fires(self, linter):
+        names = linter.rule_names(
+            "import numpy as np\n\n"
+            "def narrow(n):\n"
+            "    x = np.zeros((n,), dtype=np.complex128)\n"
+            "    return x.astype(np.float64)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "dtype-drop" in names
+
+    def test_explicit_projection_stays_silent(self, linter):
+        names = linter.rule_names(
+            KERNEL + "\ndef good(n):\n"
+            "    x = np.zeros((n, 8), dtype=np.complex128)\n"
+            "    kernel(np.abs(x))\n"
+            "    kernel(x.real)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "dtype-drop" not in names
+
+    def test_float32_widening_fires_only_on_hotpath(self, linter):
+        hot = KERNEL.replace(
+            "# reprolint: shape", "# reprolint: hotpath shape"
+        ).replace("dtype=float64", "dtype=float64")
+        names = linter.rule_names(
+            hot + "\ndef bad():\n"
+            "    kernel(np.zeros((4, 8), dtype=np.float32))\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "dtype-drop" in names
+        cold = linter.rule_names(
+            KERNEL + "\ndef fine():\n"
+            "    kernel(np.zeros((4, 8), dtype=np.float32))\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "dtype-drop" not in cold
+
+
+class TestHotpathCopyRule:
+    HOT = (
+        "import numpy as np\n\n\n"
+        "def kernel(rows, mask):  # reprolint: hotpath\n"
+    )
+
+    def test_astype_flatten_mask_and_repack_fire(self, linter):
+        names = linter.rule_names(
+            self.HOT
+            + "    a = rows.astype(np.float64)\n"
+            "    b = rows.flatten()\n"
+            "    c = rows[rows > 0]\n"
+            "    d = np.ascontiguousarray(rows)\n"
+            "    return a, b, c, d\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert names.count("hotpath-copy") == 4
+
+    def test_views_and_copy_false_stay_silent(self, linter):
+        names = linter.rule_names(
+            self.HOT
+            + "    a = rows.astype(np.float64, copy=False)\n"
+            "    b = rows.ravel()\n"
+            "    c = rows[2:5]\n"
+            "    return a, b, c\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "hotpath-copy" not in names
+
+    def test_unmarked_function_is_out_of_scope(self, linter):
+        names = linter.rule_names(
+            "import numpy as np\n\ndef cold(rows):\n"
+            "    return rows.astype(np.float64)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "hotpath-copy" not in names
+
+    def test_acknowledged_copy_is_suppressed(self, linter):
+        names = linter.rule_names(
+            self.HOT
+            + "    return rows.astype(np.float64)  # reprolint: disable=hotpath-copy\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "hotpath-copy" not in names
+
+
+class TestOutAliasingRule:
+    BODY = (
+        "import numpy as np\n\n\n"
+        "def kernel(rows, out=None):\n"
+        "    return rows\n\n\n"
+        "def safe_kernel(rows, out=None):  # reprolint: alias-safe\n"
+        "    return rows\n\n\n"
+    )
+
+    def test_same_name_aliasing_fires(self, linter):
+        names = linter.rule_names(
+            self.BODY + "def bad(x):\n    kernel(x, out=x)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "out-aliasing" in names
+
+    def test_identical_subscript_fires(self, linter):
+        names = linter.rule_names(
+            self.BODY + "def bad(x):\n    kernel(x[0:4], out=x[0:4])\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "out-aliasing" in names
+
+    def test_alias_safe_callee_stays_silent(self, linter):
+        names = linter.rule_names(
+            self.BODY + "def fine(x):\n    safe_kernel(x, out=x)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "out-aliasing" not in names
+
+    def test_disjoint_windows_and_externals_stay_silent(self, linter):
+        names = linter.rule_names(
+            self.BODY
+            + "def fine(x, y):\n"
+            "    kernel(x[0:4], out=x[4:8])\n"
+            "    kernel(x, out=y)\n"
+            "    np.add(x, 1.0, out=x)\n",
+            rel="repro/dsp/mod.py",
+        )
+        assert "out-aliasing" not in names
+
+
+class TestViewEscapeRule:
+    HEAD = "import numpy as np\nfrom repro.store.reader import TraceReader\n\n\n"
+
+    def test_return_from_with_block_fires(self, linter):
+        names = linter.rule_names(
+            self.HEAD + "def bad(path):\n"
+            "    with TraceReader(path) as r:\n"
+            "        return r.read(0, 10)\n",
+            rel="repro/store/mod.py",
+        )
+        assert "view-escape" in names
+
+    def test_named_view_past_close_fires(self, linter):
+        names = linter.rule_names(
+            self.HEAD + "def bad(path):\n"
+            "    r = TraceReader(path)\n"
+            "    v = r.timestamps()\n"
+            "    r.close()\n"
+            "    return v\n",
+            rel="repro/store/mod.py",
+        )
+        assert "view-escape" in names
+
+    def test_attribute_store_fires(self, linter):
+        names = linter.rule_names(
+            self.HEAD + "class Holder:\n"
+            "    def load(self, path):\n"
+            "        with TraceReader(path) as r:\n"
+            "            self.frames = r.frames\n",
+            rel="repro/store/mod.py",
+        )
+        assert "view-escape" in names
+
+    def test_copies_launder(self, linter):
+        names = linter.rule_names(
+            self.HEAD + "def fine(path):\n"
+            "    with TraceReader(path) as r:\n"
+            "        v = r.read(0, 10)\n"
+            "        v = v.copy()\n"
+            "        return v\n\n"
+            "def fine2(path):\n"
+            "    with TraceReader(path) as r:\n"
+            "        return np.array(r.frames)\n",
+            rel="repro/store/mod.py",
+        )
+        assert "view-escape" not in names
+
+    def test_escaping_reader_transfers_the_obligation(self, linter):
+        names = linter.rule_names(
+            self.HEAD + "def fine(path):\n"
+            "    r = TraceReader(path)\n"
+            "    v = r.read(0, 10)\n"
+            "    return r, v\n",
+            rel="repro/store/mod.py",
+        )
+        assert "view-escape" not in names

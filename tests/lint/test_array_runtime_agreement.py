@@ -1,0 +1,115 @@
+"""Declared array contracts vs. the kernels they describe, at runtime.
+
+The static rules trust the ``Shape:`` blocks and shape pragmas on the
+batched DSP kernels. These property tests close the loop: for
+Hypothesis-chosen sizes, bind the contract's symbolic dims to concrete
+values, run the real kernel, and assert the result honours the declared
+return shape (and never narrows the input dtype). A contract the kernel
+does not actually keep would make every interprocedural finding built
+on it a lie.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import CascadingFilter, FilterScratch, fir_filter_rows
+from repro.core.preprocess import Preprocessor
+from repro.lint.callgraph import extract_module_facts
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _contracts(rel: str, parts: tuple[str, ...], qualname: str):
+    source = (REPO_SRC / rel).read_text(encoding="utf-8")
+    facts = extract_module_facts(parts, ast.parse(source), source)
+    fn = facts.functions[qualname]
+    assert fn.array_unresolved == ()
+    return fn.array_contracts
+
+
+FIR = _contracts("dsp/filters.py", ("dsp", "filters"), "fir_filter_rows")
+APPLY_ROWS = _contracts(
+    "dsp/filters.py", ("dsp", "filters"), "CascadingFilter.apply_rows"
+)
+DENOISE = _contracts(
+    "core/preprocess.py", ("core", "preprocess"), "Preprocessor.denoise_block"
+)
+
+
+def _bound(dims: tuple[str, ...], binding: dict[str, int]) -> tuple[int, ...]:
+    """Concrete shape a symbolic contract demands under ``binding``."""
+    assert all(dim in binding for dim in dims), (dims, binding)
+    return tuple(binding[dim] for dim in dims)
+
+
+class TestContractsDeclareWhatWeTest:
+    """The facts layer sees the contracts these tests exercise — if an
+    annotation is reworded out of existence, fail here, loudly, instead
+    of silently testing nothing."""
+
+    def test_fir_filter_rows(self):
+        assert FIR["rows"][0] == ("N", "R")
+        assert FIR["taps"][0] == ("T",)
+        assert FIR["out"][0] == ("N", "R")
+        assert FIR["return"][0] == ("N", "R")
+
+    def test_apply_rows_and_denoise_block(self):
+        assert APPLY_ROWS["rows"][0] == ("N", "R")
+        assert APPLY_ROWS["return"][0] == ("N", "R")
+        assert DENOISE["frames"][0] == ("N", "R")
+        assert DENOISE["return"][0] == ("N", "R")
+
+
+@st.composite
+def _blocks(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    r = draw(st.integers(min_value=16, max_value=96))
+    complex_valued = draw(st.booleans())
+    base = np.linspace(-1.0, 1.0, n * r).reshape(n, r)
+    rows = base * (1.0 + 0.5j) if complex_valued else base
+    return n, r, rows
+
+
+@settings(max_examples=25, deadline=None)
+@given(block=_blocks(), t=st.integers(min_value=1, max_value=7))
+def test_fir_filter_rows_keeps_its_contract(block, t):
+    n, r, rows = block
+    taps = np.hamming(2 * t + 1)
+    taps /= taps.sum()
+    binding = {"N": n, "R": r, "T": taps.shape[0]}
+    assert taps.shape == _bound(FIR["taps"][0], binding)
+
+    result = fir_filter_rows(rows, taps, FilterScratch())
+    assert result.shape == _bound(FIR["return"][0], binding)
+    assert np.iscomplexobj(result) == np.iscomplexobj(rows)
+
+    out = np.empty_like(rows)
+    assert out.shape == _bound(FIR["out"][0], binding)
+    returned = fir_filter_rows(rows, taps, FilterScratch(), out=out)
+    assert returned is out
+
+
+@settings(max_examples=25, deadline=None)
+@given(block=_blocks())
+def test_apply_rows_keeps_its_contract(block):
+    n, r, rows = block
+    binding = {"N": n, "R": r}
+    result = CascadingFilter(fir_order=6, smooth_window=4).apply_rows(rows)
+    assert result.shape == _bound(APPLY_ROWS["return"][0], binding)
+    assert np.iscomplexobj(result) == np.iscomplexobj(rows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(block=_blocks())
+def test_denoise_block_keeps_its_contract(block):
+    n, r, rows = block
+    binding = {"N": n, "R": r}
+    result = Preprocessor().denoise_block(rows)
+    assert result.shape == _bound(DENOISE["return"][0], binding)
+    assert np.iscomplexobj(result) == np.iscomplexobj(rows)
