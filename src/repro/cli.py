@@ -108,6 +108,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flt.add_argument("--workers", type=int, default=4, help="detector worker threads")
     flt.add_argument("--queue-depth", type=int, default=4096, help="per-session queue bound")
+    flt.add_argument(
+        "--sharded", action="store_true",
+        help="run detectors in shard worker processes (repro.shard) instead of threads",
+    )
     flt.add_argument("--json", help="also write the metrics snapshot to this path")
 
     sto = sub.add_parser("store", help="record/replay/verify chunked .rst recordings")
@@ -213,7 +217,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not 0 <= args.faults <= args.vehicles:
         raise SystemExit(f"fleet: --faults must be in 0..{args.vehicles}")
     fault_at = args.fault_at if args.fault_at is not None else 0.4 * args.duration
-    service = FleetService(workers=args.workers, queue_depth=args.queue_depth)
+    service = FleetService(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        backend="sharded" if args.sharded else "threaded",
+    )
     for k in range(args.vehicles):
         service.add_vehicle(
             VehicleSpec(

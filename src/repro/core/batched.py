@@ -33,6 +33,19 @@ from repro.core.realtime import FrameStatus, RealTimeBlinkDetector, RealTimeConf
 
 __all__ = ["BatchedPipeline"]
 
+#: Element budget for one fused row-matrix launch. Fusing *all* sessions
+#: into a single (ΣTᵢ, n_bins) concatenation stops paying off once the
+#: concatenated input plus the denoised output outgrow the last-level
+#: cache: at S=256 the scratch reached hundreds of MB and fps-per-core
+#: dropped ~45% versus S=64 (BENCH_pipeline.json), purely from memory
+#: traffic — the walks consumed stone-cold slices. Grouping sessions so
+#: each launch stays within this budget keeps the kernel→walk handoff
+#: cache-warm; results are bit-identical because the row kernel treats
+#: every row independently. 2^21 complex128 elements ≈ 32 MB in, 32 MB
+#: out — measured best on the reference host (2^20 and 2^22 both lose
+#: ~10%; the full concat at S=256 loses ~45%).
+_GROUP_ELEMS = 1 << 21
+
 
 class BatchedPipeline:
     """Run S blink-detection sessions with shared, fused pipeline kernels.
@@ -93,15 +106,40 @@ class BatchedPipeline:
             return outputs
         geometries = {(b.shape[1], b.dtype) for b in nonempty}
         if len(geometries) == 1:
-            rows = np.concatenate(nonempty, axis=0)
-            denoised_all = self.detectors[0].preprocessor.denoise_block(rows)
-            offset = 0
+            # Group sessions so each fused launch stays cache-sized (see
+            # _GROUP_ELEMS): a group is concatenated, denoised with one
+            # kernel launch, and its walks run while those rows are warm.
+            n_bins = nonempty[0].shape[1]
+            max_rows = max(1, _GROUP_ELEMS // max(1, n_bins))
+            group: list[int] = []
+            group_rows = 0
+
+            def _run_group(indices: list[int]) -> None:
+                if len(indices) == 1:
+                    i = indices[0]
+                    outputs[i] = self.detectors[i].process_block(blocks[i])
+                    return
+                rows = np.concatenate([blocks[i] for i in indices], axis=0)
+                denoised_all = self.detectors[indices[0]].preprocessor.denoise_block(rows)
+                offset = 0
+                for i in indices:
+                    denoised = denoised_all[offset : offset + lengths[i]]
+                    offset += lengths[i]
+                    outputs[i] = self.detectors[i].process_block(
+                        blocks[i], denoised=denoised
+                    )
+
             for i, block in enumerate(blocks):
                 if not lengths[i]:
                     continue
-                denoised = denoised_all[offset : offset + lengths[i]]
-                offset += lengths[i]
-                outputs[i] = self.detectors[i].process_block(block, denoised=denoised)
+                if group and group_rows + lengths[i] > max_rows:
+                    _run_group(group)
+                    group = []
+                    group_rows = 0
+                group.append(i)
+                group_rows += lengths[i]
+            if group:
+                _run_group(group)
         else:
             # Mixed bin counts or dtypes cannot share one row matrix (the
             # concatenation would promote dtypes and change result types);

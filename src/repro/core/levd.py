@@ -40,9 +40,15 @@ __all__ = ["BlinkDetection", "LevdConfig", "LocalExtremeValueDetector", "detect_
 
 
 #: Cache of Φ⁻¹((1+q)/2) per quantile q. scipy is imported lazily on the
-#: first σ evaluation (keeping module import light), but only once — the
-#: seed re-imported it inside every σ recompute, which showed up as a
-#: constant-overhead stripe across the hot-path profile.
+#: first call (keeping module import light), but only once — the seed
+#: re-imported it inside every σ recompute, which showed up as a
+#: constant-overhead stripe across the hot-path profile. The divisor is
+#: resolved at *detector construction* rather than on the first σ
+#: evaluation: the `scipy.stats` import costs seconds on a cold
+#: interpreter, and deferring it to mid-stream turned the first σ
+#: recompute into a multi-second latency spike (the sessions=1 p50
+#: anomaly in BENCH_fleet.json). Construction is session bring-up, where
+#: a one-time cost belongs.
 _PPF_DIVISORS: dict[float, float] = {}
 
 
@@ -181,6 +187,9 @@ class LocalExtremeValueDetector:
         self._merge_frames = self._frames(self.config.merge_window_s)
         self._refractory_frames = self._frames(self.config.refractory_s)
         self._max_gap_frames = self._frames(self.config.max_pair_gap_s)
+        # Pay the scipy import (seconds, once per interpreter) here at
+        # bring-up, never inside the streaming hot path.
+        self._sigma_divisor = _gaussian_quantile_divisor(self.config.sigma_quantile)
 
     def reset(self) -> None:
         """Drop all state (detector restart)."""
@@ -275,7 +284,7 @@ class LocalExtremeValueDetector:
         if self._sigma_cache is None:
             q = self.config.sigma_quantile
             self._sigma_cache = max(
-                self._sigma_buffer.quantile(q) / _gaussian_quantile_divisor(q),
+                self._sigma_buffer.quantile(q) / self._sigma_divisor,
                 self.config.min_sigma,
             )
         return self._sigma_cache

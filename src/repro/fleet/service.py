@@ -93,7 +93,11 @@ class FleetService:
         queue_depth: int = 4096,
         session_config: SessionConfig | None = None,
         pace_s: float | None = None,
+        backend: str = "threaded",
     ) -> None:
+        if backend not in ("threaded", "sharded"):
+            raise ValueError(f"unknown backend {backend!r} (threaded|sharded)")
+        self.backend = backend
         self.workers = workers
         self.queue_depth = queue_depth
         self.session_config = session_config if session_config is not None else SessionConfig()
@@ -184,15 +188,27 @@ class FleetService:
         """
         if not self.sessions:
             raise RuntimeError("no sessions registered")
-        scheduler = FleetScheduler(
-            list(self.sessions.values()),
-            workers=self.workers,
-            queue_depth=self.queue_depth,
-            metrics=self.metrics,
-            pace_s=self.pace_s,
-        )
         started = time.perf_counter()
-        rounds = scheduler.run(max_rounds=max_rounds)
+        if self.backend == "sharded":
+            from repro.shard.runner import run_sharded
+
+            rounds = run_sharded(
+                list(self.sessions.values()),
+                shards=self.workers,
+                queue_depth=self.queue_depth,
+                metrics=self.metrics,
+                max_rounds=max_rounds,
+                pace_s=self.pace_s,
+            )
+        else:
+            scheduler = FleetScheduler(
+                list(self.sessions.values()),
+                workers=self.workers,
+                queue_depth=self.queue_depth,
+                metrics=self.metrics,
+                pace_s=self.pace_s,
+            )
+            rounds = scheduler.run(max_rounds=max_rounds)
         self._wall_s = time.perf_counter() - started
         processed = self.metrics.counter("fleet.frames_processed").value
         self.metrics.gauge("fleet.wall_s").set(self._wall_s)

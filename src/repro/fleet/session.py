@@ -425,7 +425,10 @@ class DetectorSession:
         self.process_batch([item], enqueued_ats=[enqueued_at])
 
     def process_batch(
-        self, items: list[FrameItem], enqueued_ats: list[float | None] | None = None
+        self,
+        items: list[FrameItem],
+        enqueued_ats: list[float | None] | None = None,
+        denoised: np.ndarray | None = None,
     ) -> None:
         """Run the detector over several queued items (worker side, serialized).
 
@@ -436,6 +439,12 @@ class DetectorSession:
         frame-at-a-time walk, batching changes no detection output —
         the scheduler-vs-serial equivalence test holds frame counts,
         blink times and restarts fixed across batch sizes.
+
+        ``denoised``, when given, is the fast-time cascade output for
+        the batch's frames (row k denoises ``items[k]``'s frame),
+        computed by a caller that fused the stage-1 kernel across many
+        sessions (the shard worker). The cascade is stateless per row,
+        so injecting it changes no output — it only moves the launch.
 
         Frames queued before a restart (older generation) are flushed,
         not processed: a reborn detector must cold-start on live frames,
@@ -450,11 +459,18 @@ class DetectorSession:
         start = 0
         for k in range(1, len(items) + 1):
             if k == len(items) or items[k][0] != items[start][0]:
-                self._process_run(items[start:k], enqueued_ats[start:k])
+                self._process_run(
+                    items[start:k],
+                    enqueued_ats[start:k],
+                    None if denoised is None else denoised[start:k],
+                )
                 start = k
 
     def _process_run(
-        self, items: list[FrameItem], enqueued_ats: list[float | None]
+        self,
+        items: list[FrameItem],
+        enqueued_ats: list[float | None],
+        denoised: np.ndarray | None = None,
     ) -> None:
         generation = items[0][0]
         with self._lock:
@@ -468,7 +484,9 @@ class DetectorSession:
                 self.metrics.counter("fleet.dropped_stale").inc()
                 self._emit(FrameDropEvent(self.session_id, time_s, 1, where="stale"))
             return
-        statuses = detector.process_block(np.stack([frame for _, _, frame in items]))
+        statuses = detector.process_block(
+            np.stack([frame for _, _, frame in items]), denoised=denoised
+        )
         done_at = time.perf_counter()
         self.frames_processed += len(statuses)
         self._last_det_index = statuses[-1].frame_index

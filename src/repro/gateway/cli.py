@@ -41,6 +41,10 @@ def add_gateway_arguments(parser: argparse.ArgumentParser) -> None:
     )
     srv.add_argument("--workers", type=int, default=4, help="detector worker threads")
     srv.add_argument("--queue-depth", type=int, default=4096, help="per-session queue bound")
+    srv.add_argument(
+        "--backend", choices=["threaded", "sharded"], default="threaded",
+        help="detector pool: in-process threads, or repro.shard worker processes",
+    )
     srv.add_argument("--record-dir", default=None, help="tee ingested traffic into this catalog")
 
     lod = sub.add_parser("load", help="replay-driven fleet load generator")
@@ -72,6 +76,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             queue_depth=args.queue_depth,
             record_dir=args.record_dir,
+            backend=args.backend,
         )
         await server.start()
         http = MetricsHttpServer(

@@ -195,9 +195,12 @@ class GatewayServer:
         session_config: SessionConfig | None = None,
         metrics: MetricsRegistry | None = None,
         ack_every: int = 64,
+        backend: str = "threaded",
     ) -> None:
         if ack_every < 1:
             raise ValueError(f"ack_every must be >= 1, got {ack_every}")
+        if backend not in ("threaded", "sharded"):
+            raise ValueError(f"unknown backend {backend!r} (threaded|sharded)")
         self.host = host
         self._requested_port = port
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -205,9 +208,20 @@ class GatewayServer:
         self.record_dir = Path(record_dir) if record_dir is not None else None
         self.ack_every = ack_every
         self.queue_depth = queue_depth
-        self.scheduler = FleetScheduler(
-            [], workers=workers, queue_depth=queue_depth, metrics=self.metrics
-        )
+        self.backend = backend
+        if backend == "sharded":
+            # Same serve surface, detector work in shard processes.
+            # Imported lazily: repro.shard's worker module imports from
+            # this package, so a top-level import would be circular.
+            from repro.shard.fleet import ShardedFleet
+
+            self.scheduler: Any = ShardedFleet(
+                [], workers=workers, queue_depth=queue_depth, metrics=self.metrics
+            )
+        else:
+            self.scheduler = FleetScheduler(
+                [], workers=workers, queue_depth=queue_depth, metrics=self.metrics
+            )
         self.sessions: dict[str, IngestSession] = {}
         # Serializes catalog registration: session finalizations run on
         # executor threads and may overlap, but the catalog manifest is
@@ -238,10 +252,14 @@ class GatewayServer:
         return self._started and not self._draining
 
     async def start(self) -> None:
-        """Bind the socket and start the scheduler's worker pool."""
+        """Bind the socket and start the scheduler's worker pool.
+
+        Pool start-up runs on an executor: the sharded backend blocks
+        while its worker processes warm up, and the loop must stay live.
+        """
         if self._started:
             raise RuntimeError("server already started")
-        self.scheduler.start()
+        await asyncio.get_running_loop().run_in_executor(None, self.scheduler.start)
         self._server = await asyncio.start_server(
             self._on_connection, host=self.host, port=self._requested_port
         )
@@ -520,11 +538,11 @@ class GatewayServer:
     async def _finalize_session(self, conn: _Connection) -> None:
         """Close one session and its recording; register the trace.
 
-        The session/scheduler bookkeeping stays on the loop (other
-        coroutines read ``self.sessions`` and ``conn.session``, and the
-        mutations all land before the first await); only the recording
-        finalization — flush, close, catalog registration, all file IO —
-        is handed to an executor thread.
+        The loop-visible bookkeeping (``conn.session``,
+        ``self.sessions``) lands before the first await; the detach —
+        which on the sharded backend blocks for a worker round-trip —
+        and the recording finalization (flush, close, catalog
+        registration, all file IO) run on executor threads.
         """
         session = conn.session
         if session is None:
@@ -532,11 +550,13 @@ class GatewayServer:
         conn.session = None
         recorder = conn.recorder
         conn.recorder = None
+        self.sessions.pop(session.session_id, None)
         try:
-            self.scheduler.detach(session.session_id)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.scheduler.detach, session.session_id
+            )
         except KeyError:
             pass  # already detached by a racing shutdown path
-        self.sessions.pop(session.session_id, None)
         session.close()
         if recorder is not None:
             await asyncio.get_running_loop().run_in_executor(

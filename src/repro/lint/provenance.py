@@ -49,6 +49,14 @@ _STORE_CTORS = frozenset({"TraceWriter", "TraceReader", "Recorder"})
 #: endpoint, ``close`` for clients), so the kind accepts all three.
 _GATEWAY_CTORS = frozenset({"GatewayServer", "GatewayClient", "MetricsHttpServer"})
 
+#: Process-shard handles from ``repro.shard``: a worker left unreleased
+#: keeps a live child process *and* a shared-memory segment (which
+#: outlives the interpreter until unlinked), a ring pins its mapping, a
+#: fleet owns one of each per shard. Release spellings differ per type
+#: (``close`` for workers and rings, ``stop`` for the fleet), so the
+#: kind accepts both.
+_SHARD_CTORS = frozenset({"ShardWorker", "ShmRing", "ShardedFleet"})
+
 #: Resource kinds the lifecycle rule enforces, with the method names
 #: that count as releasing them on a path.
 RELEASE_METHODS: dict[str, frozenset[str]] = {
@@ -57,6 +65,7 @@ RELEASE_METHODS: dict[str, frozenset[str]] = {
     "file": frozenset({"close"}),
     "store": frozenset({"close"}),
     "gateway": frozenset({"close", "shutdown", "stop"}),
+    "shard": frozenset({"close", "stop"}),
 }
 
 #: Kinds with a known release protocol (the lifecycle rule's scope).
@@ -72,6 +81,7 @@ KIND_NOUN: dict[str, str] = {
     "file": "file handle",
     "store": "trace-store handle",
     "gateway": "gateway service handle",
+    "shard": "shard runtime handle",
 }
 
 
@@ -105,6 +115,11 @@ def kind_of_dotted(dotted: str) -> str | None:
         return "store"
     if last in _GATEWAY_CTORS:
         return "gateway"
+    if last in _SHARD_CTORS:
+        return "shard"
+    # ShmRing mints through classmethods, not a bare constructor call.
+    if last in ("create", "attach") and len(parts) >= 2 and parts[-2] == "ShmRing":
+        return "shard"
     if dotted == "open":
         return "file"
     return None

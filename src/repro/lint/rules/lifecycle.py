@@ -228,8 +228,9 @@ class ResourceLifecycleRule(LintRule):
     name = "resource-leak"
     summary = (
         "resources acquired in repro.hardware/repro.fleet/repro.store/"
-        "repro.gateway must be closed/joined on every CFG path, "
-        "with-governed, or handed to a helper whose summary consumes them"
+        "repro.gateway/repro.shard must be closed/joined on every CFG "
+        "path, with-governed, or handed to a helper whose summary "
+        "consumes them"
     )
     #: "2": interprocedural — helper hand-offs resolved through escape/
     #: consume summaries, owned returns start tracking.
@@ -237,7 +238,7 @@ class ResourceLifecycleRule(LintRule):
     requires_project = True
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
-        if not ctx.in_package("hardware", "fleet", "store", "gateway"):
+        if not ctx.in_package("hardware", "fleet", "store", "gateway", "shard"):
             return
         moves_by_line = {
             line: pragmas.moves for line, pragmas in ctx.pragmas.items() if pragmas.moves

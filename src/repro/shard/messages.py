@@ -1,0 +1,123 @@
+"""Pickle-over-pipe control plane between the parent and shard workers.
+
+The data plane (frames) is the shared-memory ring; everything else —
+session attach/detach, drain accounting, results, metric deltas,
+heartbeats, shutdown — travels as small picklable records over one
+:func:`multiprocessing.Pipe` per worker. The parent's supervisor thread
+multiplexes every worker pipe with :func:`multiprocessing.connection.wait`.
+
+Parent → worker: :class:`AttachMsg`, :class:`DetachMsg`, :class:`StopMsg`.
+Worker → parent: :class:`ReadyMsg` once warm, then a :class:`ShardReport`
+after every tick that did work and on a heartbeat cadence when idle;
+:class:`DetachAck` / :class:`StoppedMsg` close the respective requests,
+each carrying a final report so nothing the worker produced is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.events import FleetEvent
+from repro.fleet.session import SessionConfig
+
+__all__ = [
+    "AttachMsg",
+    "DetachAck",
+    "DetachMsg",
+    "MetricsDelta",
+    "ReadyMsg",
+    "ShardReport",
+    "StopMsg",
+    "StoppedMsg",
+]
+
+
+@dataclass(frozen=True)
+class MetricsDelta:
+    """Everything a worker's registry recorded since the last report.
+
+    Counters ship as increments, gauges as last-written values, and
+    histograms as the raw observations — so the parent registry's
+    percentiles aggregate *observations* across processes, not summaries
+    of summaries.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    observations: dict[str, list[float]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.observations)
+
+
+@dataclass(frozen=True)
+class AttachMsg:
+    """Home a session on this shard (parent → worker).
+
+    ``session_index`` is the ring route id; the worker builds its own
+    detector-side session from the declared geometry and config, so the
+    parent's session object never crosses the process boundary.
+    """
+
+    session_index: int
+    session_id: str
+    n_bins: int
+    frame_rate_hz: float
+    config: SessionConfig | None
+
+
+@dataclass(frozen=True)
+class DetachMsg:
+    """Drain the ring, flush the session's detector, answer DetachAck."""
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class StopMsg:
+    """Drain the ring, ship a final report, exit the worker loop."""
+
+
+@dataclass(frozen=True)
+class ReadyMsg:
+    """Worker is warm (imports paid, ring mapped) and accepting work."""
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-tick results and accounting (worker → parent).
+
+    ``consumed`` is cumulative per session — frames taken off the ring
+    and fully handled (processed or flushed as stale) — and is what the
+    parent's ``drained()`` compares against its accepted counts. Reports
+    are sent *after* the tick's processing, so a drained session's
+    results are already applied parent-side. ``frames``/``restarts`` are
+    deltas onto the parent session objects; ``events`` replay onto the
+    parent's per-session logs and sink in emission order; ``states``
+    carries ``(generation, state)`` so lifecycle mirroring stays
+    generation-guarded across the process boundary.
+    """
+
+    consumed: dict[str, int] = field(default_factory=dict)
+    frames: dict[str, int] = field(default_factory=dict)
+    restarts: dict[str, int] = field(default_factory=dict)
+    events: list[FleetEvent] = field(default_factory=list)
+    states: dict[str, tuple[int, str]] = field(default_factory=dict)
+    metrics: MetricsDelta = field(default_factory=MetricsDelta)
+
+
+@dataclass(frozen=True)
+class DetachAck:
+    """Detach finished: the session's final report, ring fully drained."""
+
+    session_id: str
+    report: ShardReport
+
+
+@dataclass(frozen=True)
+class StoppedMsg:
+    """Orderly stop finished: the shard's last report."""
+
+    report: ShardReport

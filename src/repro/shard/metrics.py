@@ -1,0 +1,111 @@
+"""Worker-side metrics journaling and parent-side aggregation.
+
+A shard worker records metrics exactly as the in-process fleet does —
+same names, same instruments — into a :class:`JournalingRegistry`, which
+additionally journals every mutation. Each tick the worker drains the
+journal into a compact :class:`~repro.shard.messages.MetricsDelta` and
+ships it; the parent replays the delta into its own
+:class:`~repro.fleet.metrics.MetricsRegistry` with :func:`apply_delta`.
+
+Because histogram *observations* (not summaries) cross the boundary,
+the parent's ``render_prometheus`` output aggregates latency percentiles
+across every worker process exactly as if all sessions ran in-process.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.shard.messages import MetricsDelta
+
+__all__ = ["JournalingRegistry", "apply_delta"]
+
+
+class _Journal:
+    """Mutable accumulation shared by every journaling instrument."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.observations: dict[str, list[float]] = {}
+
+
+class _JournalCounter(Counter):
+    def __init__(self, name: str, journal: _Journal) -> None:
+        super().__init__()
+        self._name = name
+        self._journal = journal
+
+    def inc(self, amount: int = 1) -> None:
+        super().inc(amount)
+        journal = self._journal
+        journal.counters[self._name] = journal.counters.get(self._name, 0) + amount
+
+
+class _JournalGauge(Gauge):
+    def __init__(self, name: str, journal: _Journal) -> None:
+        super().__init__()
+        self._name = name
+        self._journal = journal
+
+    def set(self, value: float) -> None:
+        super().set(value)
+        self._journal.gauges[self._name] = self.value
+
+    def add(self, delta: float) -> None:
+        super().add(delta)
+        self._journal.gauges[self._name] = self.value
+
+
+class _JournalHistogram(Histogram):
+    def __init__(self, name: str, journal: _Journal, window: int) -> None:
+        super().__init__(window)
+        self._name = name
+        self._journal = journal
+
+    def observe(self, value: float) -> None:
+        super().observe(value)
+        self._journal.observations.setdefault(self._name, []).append(float(value))
+
+
+class JournalingRegistry(MetricsRegistry):
+    """A registry whose instruments journal every mutation for shipping."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._journal = _Journal()
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: _JournalCounter(name, self._journal))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: _JournalGauge(name, self._journal))
+
+    def histogram(self, name: str, window: int = 2048) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: _JournalHistogram(name, self._journal, window)
+        )
+
+    def drain_delta(self) -> MetricsDelta:
+        """Everything recorded since the last drain, as a shippable delta."""
+        journal = self._journal
+        delta = MetricsDelta(
+            counters=dict(journal.counters),
+            gauges=dict(journal.gauges),
+            observations={k: list(v) for k, v in journal.observations.items()},
+        )
+        journal.counters.clear()
+        journal.gauges.clear()
+        journal.observations.clear()
+        return delta
+
+
+def apply_delta(registry: MetricsRegistry, delta: MetricsDelta) -> None:
+    """Replay one worker's metrics delta into the parent registry."""
+    for name, amount in delta.counters.items():
+        registry.counter(name).inc(amount)
+    for name, value in delta.gauges.items():
+        registry.gauge(name).set(value)
+    for name, values in delta.observations.items():
+        histogram = registry.histogram(name)
+        for value in values:
+            histogram.observe(value)

@@ -1,0 +1,72 @@
+"""Run-to-completion pump over a :class:`~repro.shard.fleet.ShardedFleet`.
+
+The sharded analogue of :meth:`FleetScheduler.run
+<repro.fleet.scheduler.FleetScheduler.run>`: one pump loop advances
+every active session a frame period per round — device time in lockstep
+across the fleet — and submits each produced frame to the session's
+shard ring. Workers process in parallel *processes*; the pump thread
+never touches a detector.
+
+Teardown mirrors the threaded run contract: every ring fully drained,
+every session detached (flushing its pending detection state worker-side)
+and then closed parent-side, every worker stopped and released.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.session import DetectorSession
+
+from repro.shard.fleet import ShardedFleet
+
+__all__ = ["run_sharded"]
+
+
+def run_sharded(
+    sessions: list[DetectorSession],
+    shards: int = 4,
+    queue_depth: int = 1024,
+    metrics: MetricsRegistry | None = None,
+    max_rounds: int | None = None,
+    pace_s: float | None = None,
+) -> int:
+    """Pump ``sessions`` to completion across shard processes; returns rounds.
+
+    Blocks the calling thread. Frames a full ring sheds are counted and
+    evented, never silently lost; on return every produced-and-accepted
+    frame has been processed and every session is closed.
+    """
+    fleet = ShardedFleet(sessions, workers=shards, queue_depth=queue_depth, metrics=metrics)
+    fleet.start()
+    rounds = 0
+    try:
+        while max_rounds is None or rounds < max_rounds:
+            alive = False
+            for session in sessions:
+                if not session.active or session.draining:
+                    continue
+                alive = True
+                item = session.produce()
+                if item is not None:
+                    fleet.submit(session.session_id, item)
+            rounds += 1
+            fleet.metrics.counter("fleet.rounds").inc()
+            if not alive:
+                break
+            if pace_s:
+                time.sleep(pace_s)
+    finally:
+        # Detach drains each shard's ring and flushes the session's
+        # detector worker-side before acking, so by the time ``close``
+        # stamps the lifecycle, every result is already applied.
+        for session in sessions:
+            try:
+                fleet.detach(session.session_id)
+            except KeyError:
+                pass
+        fleet.stop()
+        for session in sessions:
+            session.close()
+    return rounds

@@ -379,3 +379,123 @@ class TestGatewayHandleLeak:
             rel=self.GATEWAY,
         )
         assert "resource-leak" not in names
+
+
+class TestShardHandleLeak:
+    SHARD = "repro/shard/snippet.py"
+
+    def test_unreleased_worker_flagged(self, linter):
+        # A leaked ShardWorker keeps a child process, a pipe, and a
+        # shared-memory segment alive past the function.
+        names = linter.rule_names(
+            """
+            from repro.shard.worker import ShardWorker
+
+
+            def spawn(index, slot_bytes):
+                worker = ShardWorker(index, 1024, slot_bytes)
+                worker.alive()
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" in names
+
+    def test_unreleased_ring_create_flagged(self, linter):
+        # ShmRing.create owns a POSIX shm segment: without close() (and
+        # unlink on the owner side) the mapping outlives the process.
+        names = linter.rule_names(
+            """
+            from repro.shard.ring import ShmRing
+
+
+            def allocate(slots, slot_bytes):
+                ring = ShmRing.create(slots, slot_bytes)
+                ring.push(b"")
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" in names
+
+    def test_attach_side_leak_on_early_return_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.shard.ring import ShmRing
+
+
+            def drain(name, skip):
+                ring = ShmRing.attach(name)
+                if skip:
+                    return 0
+                consumed = ring.size
+                ring.close()
+                return consumed
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" in names
+
+    def test_unstopped_fleet_flagged(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.shard.fleet import ShardedFleet
+
+
+            def launch(sessions):
+                fleet = ShardedFleet(sessions, workers=4)
+                fleet.start()
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" in names
+
+    def test_stop_on_every_path_is_clean(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.shard.fleet import ShardedFleet
+
+
+            def run(sessions, body):
+                fleet = ShardedFleet(sessions, workers=4)
+                fleet.start()
+                try:
+                    return body(fleet)
+                finally:
+                    fleet.stop()
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" not in names
+
+    def test_worker_close_is_a_release(self, linter):
+        names = linter.rule_names(
+            """
+            from repro.shard.worker import ShardWorker
+
+
+            def probe(index, slot_bytes):
+                worker = ShardWorker(index, 1024, slot_bytes)
+                try:
+                    return worker.alive()
+                finally:
+                    worker.close()
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" not in names
+
+    def test_escape_via_attribute_discharges_obligation(self, linter):
+        # The fleet pools workers on self; their close() belongs to the
+        # fleet's own stop(), not the spawning function.
+        names = linter.rule_names(
+            """
+            from repro.shard.worker import ShardWorker
+
+
+            class Pool:
+                def grow(self, index, slot_bytes):
+                    worker = ShardWorker(index, 1024, slot_bytes)
+                    self.workers.append(worker)
+            """,
+            rel=self.SHARD,
+        )
+        assert "resource-leak" not in names

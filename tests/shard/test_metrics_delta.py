@@ -1,0 +1,85 @@
+"""Cross-process metrics: journaling registry and delta replay.
+
+The contract that makes the parent's Prometheus rendering span every
+shard process: workers journal raw mutations (histogram *observations*,
+not summaries), ship them as deltas, and the parent replays them — so
+the aggregate is exactly what one in-process registry would have seen.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.metrics import MetricsRegistry
+from repro.shard.messages import MetricsDelta
+from repro.shard.metrics import JournalingRegistry, apply_delta
+
+
+class TestJournalingRegistry:
+    def test_instruments_behave_like_the_fleet_ones(self):
+        registry = JournalingRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        assert registry.counter("c").value == 3
+        assert registry.gauge("g").value == 1.5
+        assert registry.histogram("h").snapshot()["count"] == 1
+
+    def test_drain_delta_captures_and_clears(self):
+        registry = JournalingRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.0)
+        registry.gauge("g").add(0.5)
+        registry.histogram("h").observe(1.0)
+        registry.histogram("h").observe(3.0)
+        delta = registry.drain_delta()
+        assert delta.counters == {"c": 5}
+        assert delta.gauges == {"g": 2.5}
+        assert delta.observations == {"h": [1.0, 3.0]}
+        # Drained: the next delta is empty until new mutations land.
+        assert not registry.drain_delta()
+        registry.counter("c").inc()
+        assert registry.drain_delta().counters == {"c": 1}
+
+    def test_same_instrument_returned_across_lookups(self):
+        registry = JournalingRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("y") is registry.histogram("y")
+
+
+class TestApplyDelta:
+    def test_replay_matches_in_process_recording(self):
+        worker = JournalingRegistry()
+        parent = MetricsRegistry()
+        reference = MetricsRegistry()
+        for value in (0.1, 0.2, 0.9, 0.4):
+            worker.histogram("fleet.latency_s").observe(value)
+            reference.histogram("fleet.latency_s").observe(value)
+        worker.counter("fleet.blinks").inc(2)
+        reference.counter("fleet.blinks").inc(2)
+        apply_delta(parent, worker.drain_delta())
+        assert (
+            parent.counter("fleet.blinks").value
+            == reference.counter("fleet.blinks").value
+        )
+        # Observations (not summaries) crossed: percentiles agree exactly.
+        assert parent.histogram("fleet.latency_s").percentile(
+            95.0
+        ) == reference.histogram("fleet.latency_s").percentile(95.0)
+
+    def test_deltas_from_two_workers_accumulate(self):
+        parent = MetricsRegistry()
+        a, b = JournalingRegistry(), JournalingRegistry()
+        a.counter("fleet.frames_processed").inc(10)
+        b.counter("fleet.frames_processed").inc(32)
+        a.gauge("session.s0.queue_depth").set(4)
+        apply_delta(parent, a.drain_delta())
+        apply_delta(parent, b.drain_delta())
+        assert parent.counter("fleet.frames_processed").value == 42
+        assert parent.gauge("session.s0.queue_depth").value == 4
+
+    def test_empty_delta_is_falsy_and_inert(self):
+        parent = MetricsRegistry()
+        delta = MetricsDelta()
+        assert not delta
+        apply_delta(parent, delta)
+        assert parent.as_dict()["counters"] == {}

@@ -96,7 +96,10 @@ def check_scrape(text: str, frames_sent: int) -> list[str]:
 
 async def run_smoke(args: argparse.Namespace, drive: Path, record_dir: Path) -> int:
     server = GatewayServer(
-        workers=args.workers, queue_depth=args.queue_depth, record_dir=record_dir
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        record_dir=record_dir,
+        backend=args.backend,
     )
     await server.start()
     http = MetricsHttpServer(
@@ -105,7 +108,7 @@ async def run_smoke(args: argparse.Namespace, drive: Path, record_dir: Path) -> 
     await http.start()
     print(
         f"gateway up on 127.0.0.1:{server.port} "
-        f"(metrics :{http.port}, {args.workers} workers, "
+        f"(metrics :{http.port}, {args.workers} {args.backend} workers, "
         f"queue depth {args.queue_depth})"
     )
     failures = []
@@ -181,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--frames", type=int, default=150, help="frames per vehicle")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--queue-depth", type=int, default=4096)
+    parser.add_argument(
+        "--backend", choices=["threaded", "sharded"], default="threaded",
+        help="scheduler backend the gateway multiplexes into",
+    )
     parser.add_argument("--seed", type=int, default=19)
     args = parser.parse_args(argv)
 

@@ -1,0 +1,147 @@
+"""CI smoke check for the process-sharded fleet runtime (``repro.shard``).
+
+Two phases, both run for real (worker processes, shared-memory rings):
+
+1. **Crash recovery.** A 4-shard fleet streams synthetic frames into 8
+   sessions; one worker is SIGKILLed mid-stream. The check gates on the
+   shard loss contract: the fleet drains without hanging, exactly one
+   shard crash is counted, sessions on surviving shards lose nothing,
+   and every session's accounting conserves
+   ``processed + crash_lost == accepted``. Re-homed sessions must keep
+   processing after the crash (the replacement shard does real work).
+2. **Gateway end-to-end over the sharded backend.** Reuses the
+   gateway-smoke gates (zero loss below the backpressure threshold,
+   well-formed /metrics, bit-identical recordings) with
+   ``--backend sharded``, proving the serve surface really is a drop-in.
+
+Exit status 0 on success, 1 with a diagnostic on any failure::
+
+    PYTHONPATH=src python tools/shard_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.fleet.events import FrameDropEvent  # noqa: E402
+from repro.gateway.ingest import IngestSession  # noqa: E402
+from repro.shard.fleet import ShardedFleet  # noqa: E402
+
+import gateway_smoke  # noqa: E402
+
+_DRAIN_TIMEOUT_S = 120.0
+
+
+def crash_lost(session: IngestSession) -> int:
+    return sum(
+        e.n_dropped
+        for e in session.events
+        if isinstance(e, FrameDropEvent) and e.where == "crash"
+    )
+
+
+def run_crash_phase(args: argparse.Namespace) -> list[str]:
+    failures: list[str] = []
+    rng = np.random.default_rng(args.seed)
+    n_bins, fps = 64, 25.0
+    sids = [f"veh{i:02d}" for i in range(args.sessions)]
+    traces = {
+        sid: (
+            rng.standard_normal((args.frames, n_bins))
+            + 1j * rng.standard_normal((args.frames, n_bins))
+        ).astype(np.complex64)
+        for sid in sids
+    }
+    sessions = {
+        sid: IngestSession(sid, n_bins=n_bins, frame_rate_hz=fps) for sid in sids
+    }
+    fleet = ShardedFleet([], workers=args.workers, queue_depth=4096, slot_bins=n_bins)
+    fleet.start()
+    victim_sids: list[str] = []
+    try:
+        for session in sessions.values():
+            session.start()
+            fleet.attach(session)
+        accepted = {sid: 0 for sid in sids}
+        kill_at = args.frames // 3
+        for k in range(args.frames):
+            if k == kill_at:
+                victim = fleet._pool[0]
+                victim_sids = [
+                    sid for sid, w in fleet._assign.items() if w is victim
+                ]
+                print(
+                    f"SIGKILL shard {victim.shard_index} (pid {victim.process.pid}) "
+                    f"homing {victim_sids}"
+                )
+                os.kill(victim.process.pid, signal.SIGKILL)
+            for sid, session in sessions.items():
+                if fleet.submit(sid, session.make_item(k / fps, traces[sid][k])):
+                    accepted[sid] += 1
+        deadline = time.monotonic() + _DRAIN_TIMEOUT_S
+        while not fleet.idle():
+            if time.monotonic() > deadline:
+                failures.append("fleet never drained after the crash (deadlock)")
+                return failures
+            time.sleep(0.01)
+        crashes = int(fleet.metrics.counter("fleet.shard_crashes").value)
+        if crashes != 1:
+            failures.append(f"expected exactly 1 shard crash, counted {crashes}")
+        if not victim_sids:
+            failures.append("victim shard homed no sessions — smoke misconfigured")
+        for sid in sids:
+            session = sessions[sid]
+            lost = crash_lost(session)
+            if session.frames_processed + lost != accepted[sid]:
+                failures.append(
+                    f"{sid}: processed {session.frames_processed} + lost {lost} "
+                    f"!= accepted {accepted[sid]}"
+                )
+            if sid in victim_sids:
+                if session.frames_processed == 0:
+                    failures.append(f"{sid}: re-homed session never resumed")
+            elif lost != 0:
+                failures.append(f"{sid}: survivor shard lost {lost} frames")
+        total_lost = sum(crash_lost(sessions[sid]) for sid in sids)
+        print(
+            f"crash phase: {crashes} crash, {total_lost} frames lost "
+            f"(all on the dead shard), survivors lossless"
+        )
+        for sid in sids:
+            fleet.detach(sid)
+    finally:
+        fleet.stop()
+        for session in sessions.values():
+            session.close()
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4, help="shard processes")
+    parser.add_argument("--sessions", type=int, default=8)
+    parser.add_argument("--frames", type=int, default=600, help="frames per session")
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args(argv)
+
+    failures = run_crash_phase(args)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("gateway e2e over the sharded backend:")
+    return gateway_smoke.main(["--backend", "sharded", "--workers", str(args.workers)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())
